@@ -1,0 +1,387 @@
+// Benchmarks in two layers, mirroring the paper's evaluation:
+//
+//   - Library micro-benchmarks against the real runtime: task spawn and
+//     join, DDF put/get and await lists, phaser phases, accumulator
+//     reductions, communication-task round trips, DDDF fetches.
+//
+//   - One benchmark per paper table/figure, driving the discrete-event
+//     models that regenerate the corresponding experiment (bandwidth,
+//     message rate, latency, syncbench grid, UTS scaling/speedups and
+//     profile, Smith-Waterman scaling and comparison). These report the
+//     experiment's headline quantity as a custom metric so `go test
+//     -bench` output doubles as a results table.
+package hcmpi_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hcmpi"
+	"hcmpi/internal/hc"
+	hcmpinode "hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/sim/model"
+	"hcmpi/internal/uts"
+)
+
+// --- real-runtime micro-benchmarks ---
+
+func BenchmarkAsyncFinish(b *testing.B) {
+	rt := hc.New(2)
+	defer rt.Shutdown()
+	b.ReportAllocs()
+	rt.Root(func(ctx *hc.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Finish(func(ctx *hc.Ctx) {
+				ctx.Async(func(*hc.Ctx) {})
+			})
+		}
+	})
+}
+
+func BenchmarkAsyncFanout64(b *testing.B) {
+	rt := hc.New(4)
+	defer rt.Shutdown()
+	rt.Root(func(ctx *hc.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Finish(func(ctx *hc.Ctx) {
+				for j := 0; j < 64; j++ {
+					ctx.Async(func(*hc.Ctx) {})
+				}
+			})
+		}
+	})
+}
+
+func BenchmarkDDFPutGet(b *testing.B) {
+	rt := hc.New(1)
+	defer rt.Shutdown()
+	rt.Root(func(ctx *hc.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := hc.NewDDF()
+			d.Put(ctx, i)
+			if d.MustGet() != i {
+				b.Fatal("bad value")
+			}
+		}
+	})
+}
+
+func BenchmarkDDFAwaitAND3(b *testing.B) {
+	rt := hc.New(2)
+	defer rt.Shutdown()
+	rt.Root(func(ctx *hc.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x, y, z := hc.NewDDF(), hc.NewDDF(), hc.NewDDF()
+			ctx.Finish(func(ctx *hc.Ctx) {
+				ctx.AsyncAwait(func(*hc.Ctx) {}, x, y, z)
+				x.Put(ctx, 1)
+				y.Put(ctx, 2)
+				z.Put(ctx, 3)
+			})
+		}
+	})
+}
+
+func BenchmarkPhaserNext4Tasks(b *testing.B) {
+	// 4 goroutine-backed tasks cycling phases.
+	hcmpi.Run(1, 2, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		ph := n.PhaserCreate(hcmpi.Strict)
+		b.ResetTimer()
+		ctx.Finish(func(ctx *hcmpi.Ctx) {
+			for t := 0; t < 4; t++ {
+				hcmpi.AsyncPhased(ctx, ph, hcmpi.SignalWait, func(_ *hcmpi.Ctx, reg *hcmpi.PhaserReg) {
+					for i := 0; i < b.N; i++ {
+						reg.Next()
+					}
+				})
+			}
+		})
+	})
+}
+
+func BenchmarkAccumulatorNext(b *testing.B) {
+	hcmpi.Run(1, 2, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		acc := n.AccumCreate(hcmpi.OpSum, hcmpi.Int64)
+		reg := acc.Register(hcmpi.SignalWait)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.AccumNext(int64(1))
+		}
+	})
+}
+
+func BenchmarkCommTaskRoundTrip(b *testing.B) {
+	// One Isend+Recv ping through the communication workers of two ranks.
+	hcmpi.Run(2, 1, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		buf := make([]byte, 8)
+		if n.Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Send(ctx, buf, 1, 0)
+				n.Recv(ctx, buf, 1, 1)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				n.Recv(ctx, buf, 0, 0)
+				n.Send(ctx, buf, 0, 1)
+			}
+		}
+	})
+}
+
+func BenchmarkHCMPIBarrier2Ranks(b *testing.B) {
+	hcmpi.Run(2, 1, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		if n.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			n.Barrier(ctx)
+		}
+	})
+}
+
+func BenchmarkDDDFRemoteFetch(b *testing.B) {
+	// Remote await: registration + data transfer, amortized over the
+	// cached path (at-most-once transfer means iterations 2..N are local).
+	home := func(guid int64) int { return 0 }
+	hcmpi.RunDDDF(2, hcmpi.Config{Workers: 1}, home, nil, func(s *hcmpi.DDDFSpace, ctx *hcmpi.Ctx) {
+		if s.Node().Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				s.Handle(int64(i)).Put(ctx, []byte{1, 2, 3, 4})
+			}
+			s.Node().Barrier(ctx)
+			return
+		}
+		s.Node().Barrier(ctx)
+		b.ResetTimer()
+		ctx.Finish(func(ctx *hcmpi.Ctx) {
+			for i := 0; i < b.N; i++ {
+				h := s.Handle(int64(i))
+				s.AsyncAwait(ctx, func(*hcmpi.Ctx) { _ = h.MustGet() }, h)
+			}
+		})
+	})
+}
+
+// --- per-table / per-figure experiment benchmarks (simulator) ---
+
+// BenchmarkFig14Bandwidth reports the modelled 8-thread bandwidth gap.
+func BenchmarkFig14Bandwidth(b *testing.B) {
+	cm := model.DefaultCosts()
+	var m, h float64
+	for i := 0; i < b.N; i++ {
+		m = model.ThreadBenchMPI(8, cm).BandwidthGbps
+		h = model.ThreadBenchHCMPI(8, cm).BandwidthGbps
+	}
+	b.ReportMetric(m, "MPI-Gbps")
+	b.ReportMetric(h, "HCMPI-Gbps")
+}
+
+// BenchmarkFig14MessageRate reports the 8-thread message-rate crossover.
+func BenchmarkFig14MessageRate(b *testing.B) {
+	cm := model.DefaultCosts()
+	var m, h float64
+	for i := 0; i < b.N; i++ {
+		m = model.ThreadBenchMPI(8, cm).MsgRateM
+		h = model.ThreadBenchHCMPI(8, cm).MsgRateM
+	}
+	b.ReportMetric(m, "MPI-Mmsgs/s")
+	b.ReportMetric(h, "HCMPI-Mmsgs/s")
+}
+
+// BenchmarkFig14Latency reports 1024-byte latencies at 8 threads.
+func BenchmarkFig14Latency(b *testing.B) {
+	cm := model.DefaultCosts()
+	var m, h float64
+	for i := 0; i < b.N; i++ {
+		m = model.ThreadBenchMPI(8, cm).LatencyUS[1024]
+		h = model.ThreadBenchHCMPI(8, cm).LatencyUS[1024]
+	}
+	b.ReportMetric(m, "MPI-µs")
+	b.ReportMetric(h, "HCMPI-µs")
+}
+
+// BenchmarkFig15MessageRate is Fig 14's rate test on the Gemini preset.
+func BenchmarkFig15MessageRate(b *testing.B) {
+	cm := model.GeminiCosts()
+	var m, h float64
+	for i := 0; i < b.N; i++ {
+		m = model.ThreadBenchMPI(8, cm).MsgRateM
+		h = model.ThreadBenchHCMPI(8, cm).MsgRateM
+	}
+	b.ReportMetric(m, "MPI-Mmsgs/s")
+	b.ReportMetric(h, "HCMPI-Mmsgs/s")
+}
+
+// BenchmarkTable2Barrier reports the 16-node/8-core barrier costs.
+func BenchmarkTable2Barrier(b *testing.B) {
+	cm := model.DefaultCosts()
+	var mpiUS, hcS, hcF float64
+	for i := 0; i < b.N; i++ {
+		mpiUS = model.SyncBench(model.SyncMPI, model.Barrier, 16, 8, cm)
+		hcS = model.SyncBench(model.SyncHCMPIStrict, model.Barrier, 16, 8, cm)
+		hcF = model.SyncBench(model.SyncHCMPIFuzzy, model.Barrier, 16, 8, cm)
+	}
+	b.ReportMetric(mpiUS, "MPI-µs")
+	b.ReportMetric(hcS, "strict-µs")
+	b.ReportMetric(hcF, "fuzzy-µs")
+}
+
+// BenchmarkTable2Reduction reports the 16-node/8-core reduction costs.
+func BenchmarkTable2Reduction(b *testing.B) {
+	cm := model.DefaultCosts()
+	var mpiUS, acc float64
+	for i := 0; i < b.N; i++ {
+		mpiUS = model.SyncBench(model.SyncMPI, model.Reduction, 16, 8, cm)
+		acc = model.SyncBench(model.SyncHCMPIFuzzy, model.Reduction, 16, 8, cm)
+	}
+	b.ReportMetric(mpiUS, "MPI-µs")
+	b.ReportMetric(acc, "accum-µs")
+}
+
+func utsBenchParams() model.UTSParams { return model.DefaultUTSParams(uts.T1Med) }
+
+// BenchmarkFig16UTSMPI reports UTS/MPI makespan at 8 nodes × 8 cores.
+func BenchmarkFig16UTSMPI(b *testing.B) {
+	up := utsBenchParams()
+	var s time.Duration
+	for i := 0; i < b.N; i++ {
+		s = model.UTSRunMPI(8, 8, up).Makespan
+	}
+	b.ReportMetric(s.Seconds(), "sim-s")
+}
+
+// BenchmarkFig17UTSMPIT3 is Fig 16's T3 sibling.
+func BenchmarkFig17UTSMPIT3(b *testing.B) {
+	up := model.DefaultUTSParams(uts.T3Mid)
+	var s time.Duration
+	for i := 0; i < b.N; i++ {
+		s = model.UTSRunMPI(8, 8, up).Makespan
+	}
+	b.ReportMetric(s.Seconds(), "sim-s")
+}
+
+// BenchmarkFig18UTSHCMPI reports UTS/HCMPI makespan at 8 nodes × 8 cores.
+func BenchmarkFig18UTSHCMPI(b *testing.B) {
+	up := utsBenchParams()
+	var s time.Duration
+	for i := 0; i < b.N; i++ {
+		s = model.UTSRunHCMPI(8, 8, up).Makespan
+	}
+	b.ReportMetric(s.Seconds(), "sim-s")
+}
+
+// BenchmarkFig19UTSHCMPIT3 is Fig 18's T3 sibling.
+func BenchmarkFig19UTSHCMPIT3(b *testing.B) {
+	up := model.DefaultUTSParams(uts.T3Mid)
+	var s time.Duration
+	for i := 0; i < b.N; i++ {
+		s = model.UTSRunHCMPI(8, 8, up).Makespan
+	}
+	b.ReportMetric(s.Seconds(), "sim-s")
+}
+
+// BenchmarkFig20Speedup reports the T1 HCMPI-over-MPI speedup in the
+// starved regime (16 nodes × 16 cores).
+func BenchmarkFig20Speedup(b *testing.B) {
+	up := utsBenchParams()
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		m := model.UTSRunMPI(16, 16, up)
+		h := model.UTSRunHCMPI(16, 16, up)
+		sp = float64(m.Makespan) / float64(h.Makespan)
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// BenchmarkFig21SpeedupT3 is Fig 20's T3 sibling (8×8: the mid-grid
+// point of the figure, where the measured speedup is ~1.9).
+func BenchmarkFig21SpeedupT3(b *testing.B) {
+	up := model.DefaultUTSParams(uts.T3Mid)
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		m := model.UTSRunMPI(8, 8, up)
+		h := model.UTSRunHCMPI(8, 8, up)
+		sp = float64(m.Makespan) / float64(h.Makespan)
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// BenchmarkTable3Profile reports the failed-steal gap at 16×16.
+func BenchmarkTable3Profile(b *testing.B) {
+	up := utsBenchParams()
+	var mf, hf float64
+	for i := 0; i < b.N; i++ {
+		mf = float64(model.UTSRunMPI(16, 16, up).Fails)
+		hf = float64(model.UTSRunHCMPI(16, 16, up).Fails)
+	}
+	b.ReportMetric(mf, "MPI-fails")
+	b.ReportMetric(hf, "HCMPI-fails")
+}
+
+// BenchmarkFig22HybridSpeedup reports HCMPI over the hybrid at 16×16.
+func BenchmarkFig22HybridSpeedup(b *testing.B) {
+	up := utsBenchParams()
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		y := model.UTSRunHybrid(16, 16, up)
+		h := model.UTSRunHCMPI(16, 16, up)
+		sp = float64(y.Makespan) / float64(h.Makespan)
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// BenchmarkTable4SW reports the Smith-Waterman DDDF makespan at the
+// paper's 8-node/12-core corner (paper: 192.3s).
+func BenchmarkTable4SW(b *testing.B) {
+	sp := model.DefaultSWParams()
+	var s time.Duration
+	for i := 0; i < b.N; i++ {
+		s = model.SWRunDDDF(8, 12, sp)
+	}
+	b.ReportMetric(s.Seconds(), "sim-s")
+}
+
+// BenchmarkFig25SWSpeedup reports hybrid-time/DDDF-time at 4 nodes × 12
+// cores (paper: 1.60).
+func BenchmarkFig25SWSpeedup(b *testing.B) {
+	spD := model.Fig25SWParams()
+	spH := spD
+	spH.Cfg.OuterH, spH.Cfg.OuterW = 5800, 6000
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		d := model.SWRunDDDF(4, 12, spD)
+		h := model.SWRunHybrid(4, 12, spH)
+		sp = float64(h) / float64(d)
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// BenchmarkRealUTSHCMPI runs the real (non-simulated) runtime end to end
+// on a small tree: 2 ranks × 2 workers, full steal and termination
+// protocol per iteration.
+func BenchmarkRealUTSHCMPI(b *testing.B) {
+	want, _ := uts.T1Small.SeqCount()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		var mu sync.Mutex
+		w := mpi.NewWorld(2)
+		w.Run(func(c *mpi.Comm) {
+			n := hcmpinode.NewNode(c, hcmpinode.Config{Workers: 2})
+			ctr := uts.RunHCMPI(n, uts.T1Small, uts.Params{Chunk: 4, PollInterval: 8})
+			mu.Lock()
+			total += ctr.Nodes
+			mu.Unlock()
+			n.Close()
+		})
+		if total != want {
+			b.Fatalf("nodes %d want %d", total, want)
+		}
+	}
+}

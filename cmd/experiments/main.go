@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of §IV has a named runner in internal/harness whose output
+// prints the measured values next to the published ones.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig14
+//	experiments -run all [-full]
+//
+// -full switches the UTS sweeps to paper-regime tree sizes and node
+// counts (minutes instead of seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hcmpi/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id (e.g. fig14, table2) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	full := flag.Bool("full", false, "paper-regime workloads (slow)")
+	outPath := flag.String("o", "", "also write output to this file")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, n := range harness.Names() {
+			fmt.Println("  " + n)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: experiments -run <id> (or -run all)")
+		}
+		return
+	}
+
+	o := harness.Options{Full: *full}
+	names := []string{*run}
+	if *run == "all" {
+		names = harness.Names()
+	}
+	for _, n := range names {
+		t0 := time.Now()
+		if err := harness.Run(n, o, out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "  [%s took %v]\n", n, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,91 @@
+// Command uts runs the Unbalanced Tree Search benchmark on the real
+// (non-simulated) runtime, in any of the paper's three flavours:
+//
+//	uts -impl hcmpi  -ranks 4 -workers 3 -tree t1med -c 8 -i 4
+//	uts -impl mpi    -ranks 8            -tree t3small -c 4 -i 16
+//	uts -impl hybrid -ranks 2 -workers 4 -tree t1small
+//
+// All ranks run in-process over the modelled interconnect; counters per
+// the paper's Table III are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/netsim"
+	"hcmpi/internal/uts"
+)
+
+var trees = map[string]uts.Config{
+	"t1small": uts.T1Small,
+	"t1med":   uts.T1Med,
+	"t1big":   uts.T1Big,
+	"t3small": uts.T3Small,
+	"t3med":   uts.T3Med,
+	"t3big":   uts.T3Big,
+}
+
+func main() {
+	impl := flag.String("impl", "hcmpi", "mpi | hcmpi | hybrid")
+	ranks := flag.Int("ranks", 2, "MPI ranks (nodes for hcmpi/hybrid)")
+	workers := flag.Int("workers", 2, "computation workers (hcmpi) or threads (hybrid) per rank")
+	treeName := flag.String("tree", "t1med", "t1small|t1med|t1big|t3small|t3med|t3big")
+	chunk := flag.Int("c", 8, "steal chunk size")
+	poll := flag.Int("i", 4, "polling interval")
+	latency := flag.Duration("latency", 0, "modelled inter-node latency (e.g. 2us)")
+	flag.Parse()
+
+	tree, ok := trees[*treeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown tree %q\n", *treeName)
+		os.Exit(2)
+	}
+	params := uts.Params{Chunk: *chunk, PollInterval: *poll}
+	net := netsim.Params{InterLatency: *latency}
+
+	seqNodes, _ := tree.SeqCount()
+	var mu sync.Mutex
+	var total uts.Counters
+
+	start := time.Now()
+	w := mpi.NewWorld(*ranks, mpi.WithNetwork(net))
+	w.Run(func(c *mpi.Comm) {
+		var ctr uts.Counters
+		switch *impl {
+		case "mpi":
+			ctr = uts.RunMPI(c, tree, params)
+		case "hcmpi":
+			n := hcmpi.NewNode(c, hcmpi.Config{Workers: *workers})
+			ctr = uts.RunHCMPI(n, tree, params)
+			n.Close()
+		case "hybrid":
+			ctr = uts.RunHybrid(c, tree, params, *workers, uts.HybridImproved)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown impl %q\n", *impl)
+			os.Exit(2)
+		}
+		mu.Lock()
+		total.Add(ctr)
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("impl=%s tree=%s ranks=%d workers=%d c=%d i=%d\n",
+		*impl, tree.Name, *ranks, *workers, params.Chunk, params.PollInterval)
+	fmt.Printf("nodes=%d (sequential: %d) depth=%d\n", total.Nodes, seqNodes, total.MaxDepth)
+	fmt.Printf("work=%v overhead=%v search=%v\n",
+		total.Work.Round(time.Microsecond), total.Overhead.Round(time.Microsecond), total.Search.Round(time.Microsecond))
+	fmt.Printf("steals: local=%d global=%d failed=%d released=%d\n",
+		total.LocalSteals, total.Steals, total.FailedSteals, total.Released)
+	fmt.Printf("wall=%v\n", elapsed.Round(time.Microsecond))
+	if total.Nodes != seqNodes {
+		fmt.Fprintln(os.Stderr, "ERROR: node count mismatch")
+		os.Exit(1)
+	}
+}

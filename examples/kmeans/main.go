@@ -1,0 +1,126 @@
+// Distributed k-means: every rank owns a shard of points; each iteration
+// assigns points to the nearest centroid with intra-node async/finish
+// parallelism and combines partial sums with one HCMPI allreduce. The
+// loop overlaps the allreduce with the next iteration's bookkeeping using
+// the non-blocking IAllreduce plus await — the paper's latency-hiding
+// pitch applied to an ordinary data-analytics kernel.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hcmpi"
+)
+
+const (
+	ranks        = 3
+	workers      = 2
+	pointsPerRnk = 3000
+	k            = 4
+	dims         = 2
+	iters        = 12
+)
+
+func main() {
+	hcmpi.Run(ranks, workers, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		// Synthetic clustered points, deterministic per rank.
+		rng := rand.New(rand.NewSource(int64(n.Rank()) + 7))
+		points := make([][dims]float64, pointsPerRnk)
+		for i := range points {
+			c := i % k
+			points[i][0] = float64(c*10) + rng.NormFloat64()
+			points[i][1] = float64(c*-6) + rng.NormFloat64()
+		}
+
+		// Common initial centroids on every rank.
+		cents := make([][dims]float64, k)
+		for c := range cents {
+			cents[c] = [dims]float64{float64(c * 8), float64(c * -5)}
+		}
+
+		for it := 0; it < iters; it++ {
+			// Partial sums: k * (dims + 1) values (sums ++ count).
+			const stride = dims + 1
+			partial := make([]float64, k*stride)
+			var chunks [workers * 2][]float64
+			ctx.Finish(func(ctx *hcmpi.Ctx) {
+				per := (pointsPerRnk + len(chunks) - 1) / len(chunks)
+				for w := range chunks {
+					w := w
+					ctx.Async(func(*hcmpi.Ctx) {
+						local := make([]float64, k*stride)
+						lo, hi := w*per, (w+1)*per
+						if hi > pointsPerRnk {
+							hi = pointsPerRnk
+						}
+						for i := lo; i < hi; i++ {
+							best, bd := 0, math.Inf(1)
+							for c := range cents {
+								d := sq(points[i][0]-cents[c][0]) + sq(points[i][1]-cents[c][1])
+								if d < bd {
+									best, bd = c, d
+								}
+							}
+							local[best*stride] += points[i][0]
+							local[best*stride+1] += points[i][1]
+							local[best*stride+2]++
+						}
+						chunks[w] = local
+					})
+				}
+			})
+			for _, local := range chunks {
+				for j, v := range local {
+					partial[j] += v
+				}
+			}
+
+			// Non-blocking global reduction, synchronized with await.
+			req := n.IAllreduce(encodeF64s(partial), hcmpi.Float64, hcmpi.OpSum)
+			st := n.Wait(ctx, req)
+			global := decodeF64s(st.Payload)
+			for c := 0; c < k; c++ {
+				if cnt := global[c*stride+2]; cnt > 0 {
+					cents[c][0] = global[c*stride] / cnt
+					cents[c][1] = global[c*stride+1] / cnt
+				}
+			}
+		}
+
+		if n.Rank() == 0 {
+			fmt.Println("converged centroids (expect near (10c, -6c)):")
+			for c, ct := range cents {
+				fmt.Printf("  cluster %d: (%6.2f, %6.2f)\n", c, ct[0], ct[1])
+			}
+		}
+	})
+}
+
+func sq(x float64) float64 { return x * x }
+
+func encodeF64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		u := math.Float64bits(x)
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(u >> (8 * j))
+		}
+	}
+	return b
+}
+
+func decodeF64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u |= uint64(b[8*i+j]) << (8 * j)
+		}
+		xs[i] = math.Float64frombits(u)
+	}
+	return xs
+}

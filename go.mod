@@ -1,0 +1,3 @@
+module hcmpi
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package hcmpi is a from-scratch Go reproduction of "Integrating
+// Asynchronous Task Parallelism with MPI" (Chatterjee et al., IPDPS
+// 2013): the HCMPI programming model and runtime, which unify
+// Habanero-C-style intra-node task parallelism (async/finish, data-driven
+// futures, phasers) with MPI-style inter-node message passing through a
+// dedicated communication worker per rank.
+//
+// This root package is the stable public facade. The machinery lives in
+// internal packages:
+//
+//	internal/hc     — work-stealing task runtime (async/finish/DDF/DDT)
+//	internal/phaser — phasers and accumulators
+//	internal/mpi    — the message-passing substrate (ranks simulated
+//	                  in-process over a modelled interconnect)
+//	internal/hcmpi  — the HCMPI integration: communication worker,
+//	                  HCMPI_* API, hcmpi-phaser, hcmpi-accum
+//	internal/dddf   — distributed data-driven futures (APGNS)
+//	internal/sim    — the discrete-event simulator behind the paper's
+//	                  evaluation (see DESIGN.md)
+//
+// # Quickstart
+//
+//	hcmpi.Run(2, 4, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+//	    if n.Rank() == 0 {
+//	        n.Send(ctx, []byte("hello"), 1, 0)
+//	    } else {
+//	        buf := make([]byte, 8)
+//	        st := n.Recv(ctx, buf, 0, 0)
+//	        fmt.Printf("rank 1 got %q\n", buf[:st.Bytes])
+//	    }
+//	})
+//
+// See examples/ for dataflow (DDDF), reduction (hcmpi-accum), and
+// wavefront programs.
+package hcmpi
+
+import (
+	"hcmpi/internal/dddf"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/netsim"
+	"hcmpi/internal/phaser"
+)
+
+// Re-exported core types. The paper's C-style names map as:
+// HCMPI_Request → *Request, HCMPI_Status → *Status, DDF_t → *DDF,
+// async/finish → Ctx.Async / Ctx.Finish, async await → Ctx.AsyncAwait.
+type (
+	// Node is one HCMPI process: computation workers plus the dedicated
+	// communication worker, bound to an MPI rank.
+	Node = hcmpi.Node
+	// Ctx is the execution context of a task (current worker + finish
+	// scope).
+	Ctx = hc.Ctx
+	// Request is an HCMPI request handle (a DDF completed by the
+	// communication worker).
+	Request = hcmpi.Request
+	// Status is an HCMPI completion status.
+	Status = hcmpi.Status
+	// DDF is a shared-memory data-driven future.
+	DDF = hc.DDF
+	// Phaser is the point-to-point/collective synchronization construct;
+	// hcmpi-phasers couple it to inter-node MPI operations.
+	Phaser = phaser.Phaser
+	// PhaserMode is a registration capability (SignalWait &c).
+	PhaserMode = phaser.Mode
+	// PhaserReg is one task's registration on a phaser.
+	PhaserReg = phaser.Reg
+	// Win is a one-sided communication window (HCMPI_Win_create).
+	Win = hcmpi.Win
+	// DDDFSpace is the distributed data-driven future namespace.
+	DDDFSpace = dddf.Space
+	// DDDF is a handle on a distributed data-driven future.
+	DDDF = dddf.Handle
+	// NetworkParams models the interconnect (latency/bandwidth classes).
+	NetworkParams = netsim.Params
+	// Datatype and Op type reductions (HCMPI_INT / HCMPI_SUM ...).
+	Datatype = mpi.Datatype
+	// Op is a reduction operator.
+	Op = mpi.Op
+)
+
+// Phaser registration modes and barrier flavours.
+const (
+	SignalWait = phaser.SignalWait
+	SignalOnly = phaser.SignalOnly
+	WaitOnly   = phaser.WaitOnly
+)
+
+// Barrier modes for PhaserCreate.
+const (
+	Strict = hcmpi.Strict
+	Fuzzy  = hcmpi.Fuzzy
+)
+
+// Reduction operators and datatypes (HCMPI_SUM, HCMPI_INT, ...).
+var (
+	OpSum   = mpi.OpSum
+	OpProd  = mpi.OpProd
+	OpMin   = mpi.OpMin
+	OpMax   = mpi.OpMax
+	Int64   = mpi.Int64
+	Float64 = mpi.Float64
+	Byte    = mpi.Byte
+)
+
+// Matching wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// NewDDF creates an empty shared-memory data-driven future (DDF_CREATE).
+func NewDDF() *DDF { return hc.NewDDF() }
+
+// AsyncPhased spawns a task registered on a phaser (async phased(ph)).
+var AsyncPhased = hcmpi.AsyncPhased
+
+// Config parameterizes an HCMPI job.
+type Config struct {
+	// Workers is the number of computation workers per rank (one extra
+	// core per rank is the communication worker).
+	Workers int
+	// Net selects the modelled interconnect; zero value is a no-delay
+	// loopback.
+	Net NetworkParams
+	// RanksPerNode places consecutive ranks on a common "node" for
+	// intra- vs inter-node link classes (default 1).
+	RanksPerNode int
+}
+
+// Run launches an SPMD HCMPI job of `ranks` ranks in-process, each with
+// `workers` computation workers, runs body as every rank's main task,
+// and tears the job down (global termination included). It is the
+// moral equivalent of mpirun on this substrate.
+func Run(ranks, workers int, body func(n *Node, ctx *Ctx)) {
+	RunConfig(ranks, Config{Workers: workers}, body)
+}
+
+// RunConfig is Run with full control over the job configuration.
+func RunConfig(ranks int, cfg Config, body func(n *Node, ctx *Ctx)) {
+	opts := []mpi.Option{mpi.WithNetwork(cfg.Net)}
+	if cfg.RanksPerNode > 0 {
+		opts = append(opts, mpi.WithRanksPerNode(cfg.RanksPerNode))
+	}
+	w := mpi.NewWorld(ranks, opts...)
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: cfg.Workers})
+		n.Main(func(ctx *hc.Ctx) { body(n, ctx) })
+		n.Close()
+	})
+}
+
+// RunDistributed joins this OS process as one rank of a real multi-process
+// HCMPI job over TCP: addrs[i] is rank i's listen address, identical
+// across all processes. The call blocks until the mesh is up, runs body
+// as this rank's main task, and tears everything down (including the
+// global termination barrier). Everything available in-process — point to
+// point, collectives, phasers, accumulators, RMA, DDDFs — works over the
+// wire unchanged.
+func RunDistributed(rank int, addrs []string, workers int, body func(n *Node, ctx *Ctx)) error {
+	c, closer, err := mpi.Distributed(rank, addrs)
+	if err != nil {
+		return err
+	}
+	n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers})
+	n.Main(func(ctx *hc.Ctx) { body(n, ctx) })
+	n.Close()
+	return closer.Close()
+}
+
+// RunDDDF launches an SPMD job with a distributed data-driven future
+// namespace (the APGNS model): home maps guids to ranks (DDF_HOME), size
+// optionally validates put sizes (DDF_SIZE).
+func RunDDDF(ranks int, cfg Config, home func(guid int64) int, size func(guid int64) int,
+	body func(s *DDDFSpace, ctx *Ctx)) {
+	opts := []mpi.Option{mpi.WithNetwork(cfg.Net)}
+	if cfg.RanksPerNode > 0 {
+		opts = append(opts, mpi.WithRanksPerNode(cfg.RanksPerNode))
+	}
+	w := mpi.NewWorld(ranks, opts...)
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: cfg.Workers})
+		var sz dddf.SizeFunc
+		if size != nil {
+			sz = size
+		}
+		s := dddf.NewSpace(n, home, sz)
+		n.Main(func(ctx *hc.Ctx) { body(s, ctx) })
+		n.Close()
+	})
+}

@@ -1,0 +1,74 @@
+package dddf
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+)
+
+// The DDDF protocol over the real TCP transport: registration and data
+// messages cross actual sockets, proving the APGNS layer is
+// transport-agnostic end to end.
+func TestDDDFOverTCP(t *testing.T) {
+	const ranks = 3
+	addrs := make([]string, ranks)
+	lns := make([]net.Listener, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	home := func(guid int64) int { return int(guid % ranks) }
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := map[int]string{}
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, closer, err := mpi.Distributed(r, addrs)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			n := hcmpi.NewNode(c, hcmpi.Config{Workers: 2})
+			s := NewSpace(n, home, nil)
+			n.Main(func(ctx *hc.Ctx) {
+				// Rank 0 homes guid 0; everyone awaits it.
+				h := s.Handle(0)
+				if r == 0 {
+					h.Put(ctx, []byte("dddf-over-tcp"))
+				}
+				done := make(chan struct{})
+				ctx.Finish(func(ctx *hc.Ctx) {
+					s.AsyncAwait(ctx, func(*hc.Ctx) {
+						mu.Lock()
+						results[r] = string(h.MustGet())
+						mu.Unlock()
+						close(done)
+					}, h)
+				})
+				<-done
+			})
+			n.Close()
+			closer.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < ranks; r++ {
+		if results[r] != "dddf-over-tcp" {
+			t.Fatalf("rank %d saw %q", r, results[r])
+		}
+	}
+}

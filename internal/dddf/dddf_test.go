@@ -1,0 +1,329 @@
+package dddf
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/netsim"
+)
+
+func runSpaces(t *testing.T, ranks, workers int, home HomeFunc, size SizeFunc, body func(s *Space, ctx *hc.Ctx)) {
+	t.Helper()
+	runSpacesNet(t, ranks, workers, netsim.Loopback, home, size, body)
+}
+
+func runSpacesNet(t *testing.T, ranks, workers int, p netsim.Params, home HomeFunc, size SizeFunc, body func(s *Space, ctx *hc.Ctx)) {
+	t.Helper()
+	w := mpi.NewWorld(ranks, mpi.WithNetwork(p))
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers})
+		s := NewSpace(n, home, size)
+		n.Main(func(ctx *hc.Ctx) { body(s, ctx) })
+		n.Close()
+	})
+}
+
+func cyclicHome(nproc int) HomeFunc {
+	return func(guid int64) int { return int(guid % int64(nproc)) }
+}
+
+func TestLocalPutGet(t *testing.T) {
+	runSpaces(t, 2, 2, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		guid := int64(s.Node().Rank()) // each rank homes its own guid
+		h := s.Handle(guid)
+		if !h.IsHome() {
+			t.Errorf("rank %d not home of guid %d", s.Node().Rank(), guid)
+		}
+		if h.Full() {
+			t.Error("fresh handle full")
+		}
+		if _, err := h.Get(); err == nil {
+			t.Error("Get before put did not error")
+		}
+		h.Put(ctx, []byte{byte(guid), 2, 3})
+		got := h.MustGet()
+		if len(got) != 3 || got[0] != byte(guid) {
+			t.Errorf("got %v", got)
+		}
+	})
+}
+
+func TestRemoteAwaitReceivesData(t *testing.T) {
+	runSpacesNet(t, 2, 2, netsim.Params{InterLatency: 50 * time.Microsecond},
+		cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+			h := s.Handle(0) // home = rank 0
+			switch s.Node().Rank() {
+			case 0:
+				h.Put(ctx, []byte("payload"))
+			case 1:
+				done := make(chan []byte, 1)
+				ctx.Finish(func(ctx *hc.Ctx) {
+					s.AsyncAwait(ctx, func(*hc.Ctx) {
+						done <- h.MustGet()
+					}, h)
+				})
+				if got := <-done; string(got) != "payload" {
+					t.Errorf("remote value %q", got)
+				}
+			}
+		})
+}
+
+func TestAwaitBeforePutAndAfterPut(t *testing.T) {
+	// One awaiter registers before the home's put, another after; both
+	// must see the value, and the transfer must happen at most once.
+	runSpaces(t, 2, 2, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		early := s.Handle(100) // home rank 0
+		late := s.Handle(102)  // home rank 0 (102%2==0)
+		switch s.Node().Rank() {
+		case 0:
+			// Wait for rank 1's early registration to be plausible, then put.
+			time.Sleep(2 * time.Millisecond)
+			early.Put(ctx, []byte{1})
+			late.Put(ctx, []byte{2})
+			s.Node().Barrier(ctx)
+		case 1:
+			var got1, got2 atomic.Int32
+			ctx.Finish(func(ctx *hc.Ctx) {
+				s.AsyncAwait(ctx, func(*hc.Ctx) { got1.Store(int32(early.MustGet()[0])) }, early)
+			})
+			s.Node().Barrier(ctx) // puts done
+			ctx.Finish(func(ctx *hc.Ctx) {
+				s.AsyncAwait(ctx, func(*hc.Ctx) { got2.Store(int32(late.MustGet()[0])) }, late)
+			})
+			if got1.Load() != 1 || got2.Load() != 2 {
+				t.Errorf("got %d,%d", got1.Load(), got2.Load())
+			}
+		}
+		if s.Node().Rank() == 0 {
+			return
+		}
+	})
+}
+
+func TestCachedCopySecondAwaitImmediate(t *testing.T) {
+	runSpaces(t, 2, 1, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(0)
+		if s.Node().Rank() == 0 {
+			h.Put(ctx, []byte("x"))
+		}
+		s.Node().Barrier(ctx)
+		if s.Node().Rank() == 1 {
+			ctx.Finish(func(ctx *hc.Ctx) {
+				s.AsyncAwait(ctx, func(*hc.Ctx) {}, h)
+			})
+			reg0, _ := s.Stats()
+			// Second await: value cached, no new registration.
+			ctx.Finish(func(ctx *hc.Ctx) {
+				s.AsyncAwait(ctx, func(*hc.Ctx) {
+					if string(h.MustGet()) != "x" {
+						t.Error("cache miss")
+					}
+				}, h)
+			})
+			reg1, _ := s.Stats()
+			if reg1 != reg0 {
+				t.Errorf("second await sent another registration (%d -> %d)", reg0, reg1)
+			}
+			if reg1 != 1 {
+				t.Errorf("registersSent = %d want 1", reg1)
+			}
+		}
+		s.Node().Barrier(ctx)
+	})
+}
+
+func TestTransferAtMostOncePerRemote(t *testing.T) {
+	const ranks = 3
+	runSpaces(t, ranks, 2, cyclicHome(ranks), nil, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(0)
+		if s.Node().Rank() == 0 {
+			h.Put(ctx, []byte("once"))
+		}
+		s.Node().Barrier(ctx)
+		if s.Node().Rank() != 0 {
+			// Many awaits on the same remote guid from many tasks.
+			ctx.Finish(func(ctx *hc.Ctx) {
+				for i := 0; i < 8; i++ {
+					s.AsyncAwait(ctx, func(*hc.Ctx) {
+						if string(h.MustGet()) != "once" {
+							t.Error("bad value")
+						}
+					}, h)
+				}
+			})
+			reg, _ := s.Stats()
+			if reg > 1 {
+				t.Errorf("rank %d sent %d registrations for one guid", s.Node().Rank(), reg)
+			}
+		}
+		s.Node().Barrier(ctx)
+		if s.Node().Rank() == 0 {
+			_, dataSent := s.Stats()
+			if dataSent > ranks-1 {
+				t.Errorf("home transferred %d times for %d remotes", dataSent, ranks-1)
+			}
+		}
+	})
+}
+
+func TestRemotePutForwardsHome(t *testing.T) {
+	runSpaces(t, 2, 2, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(0) // home rank 0
+		switch s.Node().Rank() {
+		case 1:
+			h.Put(ctx, []byte("from-remote")) // put performed away from home
+			s.Node().Barrier(ctx)
+		case 0:
+			done := make(chan struct{})
+			ctx.Finish(func(ctx *hc.Ctx) {
+				s.AsyncAwait(ctx, func(*hc.Ctx) {
+					if string(h.MustGet()) != "from-remote" {
+						t.Errorf("home saw %q", h.MustGet())
+					}
+					close(done)
+				}, h)
+			})
+			<-done
+			s.Node().Barrier(ctx)
+		}
+	})
+}
+
+func TestSizeFuncValidation(t *testing.T) {
+	size := func(guid int64) int { return 4 }
+	runSpaces(t, 1, 1, cyclicHome(1), size, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(7)
+		if err := h.TryPut(ctx, []byte{1, 2, 3}); err == nil {
+			t.Error("wrong-size put accepted")
+		}
+		if err := h.TryPut(ctx, []byte{1, 2, 3, 4}); err != nil {
+			t.Errorf("right-size put rejected: %v", err)
+		}
+	})
+}
+
+func TestDoublePutIsError(t *testing.T) {
+	runSpaces(t, 1, 1, cyclicHome(1), nil, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(1)
+		h.Put(ctx, []byte{1})
+		if err := h.TryPut(ctx, []byte{2}); err == nil {
+			t.Error("double put accepted")
+		}
+	})
+}
+
+func TestGuidAccessors(t *testing.T) {
+	runSpaces(t, 2, 1, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		h := s.Handle(5)
+		if h.Guid() != 5 || h.Home() != 1 {
+			t.Errorf("guid %d home %d", h.Guid(), h.Home())
+		}
+		if h.DDF() == nil {
+			t.Error("nil local DDF")
+		}
+	})
+}
+
+// TestSmithWatermanShape runs the paper's Fig. 9 program shape: a 2D
+// wavefront of DDDFs distributed cyclically by row-major guid.
+func TestSmithWatermanShape(t *testing.T) {
+	const ranks = 3
+	const H, W = 8, 9
+	home := cyclicHome(ranks)
+	runSpaces(t, ranks, 2, home, nil, func(s *Space, ctx *hc.Ctx) {
+		guid := func(i, j int) int64 { return int64(i*W + j) }
+		handle := func(i, j int) *Handle { return s.Handle(guid(i, j)) }
+		me := s.Node().Rank()
+
+		ctx.Finish(func(ctx *hc.Ctx) {
+			for i := 0; i < H; i++ {
+				for j := 0; j < W; j++ {
+					i, j := i, j
+					isHome := home(guid(i, j)) == me
+					if !isHome {
+						continue
+					}
+					curr := handle(i, j)
+					if i == 0 && j == 0 {
+						curr.Put(ctx, []byte{0})
+						continue
+					}
+					var deps []*Handle
+					if i > 0 {
+						deps = append(deps, handle(i-1, j))
+					}
+					if j > 0 {
+						deps = append(deps, handle(i, j-1))
+					}
+					if i > 0 && j > 0 {
+						deps = append(deps, handle(i-1, j-1))
+					}
+					s.AsyncAwait(ctx, func(ctx *hc.Ctx) {
+						best := byte(0)
+						for _, d := range deps {
+							if v := d.MustGet()[0]; v > best {
+								best = v
+							}
+						}
+						curr.Put(ctx, []byte{best + 1})
+					}, deps...)
+				}
+			}
+		})
+		s.Node().Barrier(ctx)
+		// Every rank can now await the final cell and check i+j recurrence.
+		last := handle(H-1, W-1)
+		done := make(chan byte, 1)
+		ctx.Finish(func(ctx *hc.Ctx) {
+			s.AsyncAwait(ctx, func(*hc.Ctx) { done <- last.MustGet()[0] }, last)
+		})
+		if got := <-done; got != H-1+W-1 {
+			t.Errorf("rank %d: corner = %d want %d", me, got, H-1+W-1)
+		}
+		s.Node().Barrier(ctx)
+	})
+}
+
+func TestAsyncAwaitPlusMixedDependencies(t *testing.T) {
+	// Mixed local DDF + remote handle await (the LU pattern).
+	runSpaces(t, 2, 2, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		remote := s.Handle(0) // home rank 0
+		if s.Node().Rank() == 0 {
+			remote.Put(ctx, []byte{11})
+			s.Node().Barrier(ctx)
+			return
+		}
+		local := hc.NewDDF()
+		var got atomic.Int32
+		ctx.Finish(func(ctx *hc.Ctx) {
+			s.AsyncAwaitPlus(ctx, func(*hc.Ctx) {
+				got.Store(int32(remote.MustGet()[0]) + int32(local.MustGet().(int)))
+			}, []*hc.DDF{local}, remote)
+			ctx.Async(func(ctx *hc.Ctx) { local.Put(ctx, 31) })
+		})
+		if got.Load() != 42 {
+			t.Errorf("mixed await got %d", got.Load())
+		}
+		s.Node().Barrier(ctx)
+	})
+}
+
+func TestMustGetPanicsOnRemoteEmpty(t *testing.T) {
+	runSpaces(t, 2, 1, cyclicHome(2), nil, func(s *Space, ctx *hc.Ctx) {
+		if s.Node().Rank() != 1 {
+			return
+		}
+		h := s.Handle(0) // remote, never put
+		defer func() {
+			if recover() == nil {
+				t.Error("MustGet on empty remote handle did not panic")
+			}
+		}()
+		h.MustGet()
+	})
+}

@@ -1,0 +1,125 @@
+// Package deque provides the lock-free data structures at the heart of the
+// HCMPI runtime: a Chase–Lev work-stealing deque used by computation
+// workers, a Vyukov-style multi-producer/single-consumer queue used as the
+// communication worker's worklist, and a Treiber stack used as the
+// free-list of recyclable communication tasks.
+//
+// All three structures are implemented with sync/atomic only; none of the
+// fast paths take a mutex.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+const initialLogCap = 6 // initial capacity 64
+
+// ring is one snapshot of the deque's circular buffer. Chase–Lev grows by
+// allocating a bigger ring and publishing it atomically; stale thieves may
+// keep reading the old ring, which remains valid for the elements they
+// were promised.
+type ring[T any] struct {
+	logCap uint
+	buf    []atomic.Pointer[T]
+}
+
+func newRing[T any](logCap uint) *ring[T] {
+	return &ring[T]{logCap: logCap, buf: make([]atomic.Pointer[T], 1<<logCap)}
+}
+
+func (r *ring[T]) mask() int64 { return int64(len(r.buf) - 1) }
+
+func (r *ring[T]) load(i int64) *T     { return r.buf[i&r.mask()].Load() }
+func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask()].Store(v) }
+
+func (r *ring[T]) grow(bottom, top int64) *ring[T] {
+	nr := newRing[T](r.logCap + 1)
+	for i := top; i < bottom; i++ {
+		nr.store(i, r.load(i))
+	}
+	return nr
+}
+
+// Deque is a Chase–Lev work-stealing deque. The owner pushes and pops at
+// the bottom (LIFO); thieves steal from the top (FIFO). Push and Pop must
+// be called only by the owning worker; Steal may be called from any
+// goroutine concurrently.
+type Deque[T any] struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	ring   atomic.Pointer[ring[T]]
+}
+
+// NewDeque returns an empty deque ready for use.
+func NewDeque[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](initialLogCap))
+	return d
+}
+
+// Push adds v at the bottom of the deque. Owner-only.
+func (d *Deque[T]) Push(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= int64(len(r.buf)) {
+		r = r.grow(b, t)
+		d.ring.Store(r)
+	}
+	r.store(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed element. Owner-only.
+func (d *Deque[T]) Pop() (*T, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was already empty; restore bottom.
+		d.bottom.Store(b + 1)
+		return nil, false
+	}
+	v := r.load(b)
+	if t != b {
+		return v, true
+	}
+	// Single element left: race with thieves via CAS on top.
+	ok := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(b + 1)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// Steal removes and returns the oldest element. Safe from any goroutine.
+func (d *Deque[T]) Steal() (*T, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil, false
+		}
+		r := d.ring.Load()
+		v := r.load(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+		// Lost the race; retry with fresh indices.
+	}
+}
+
+// Size returns a linearizable-enough estimate of the number of elements.
+func (d *Deque[T]) Size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if n := b - t; n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }

@@ -1,0 +1,398 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || *v != vals[i] {
+			t.Fatalf("Pop = %v,%v want %d", v, ok, vals[i])
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty deque returned ok")
+	}
+}
+
+func TestDequeFIFOThief(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		v, ok := d.Steal()
+		if !ok || *v != vals[i] {
+			t.Fatalf("Steal = %v,%v want %d", v, ok, vals[i])
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque returned ok")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := NewDeque[int]()
+	const n = 10_000 // forces several ring growths
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	if got := d.Size(); got != n {
+		t.Fatalf("Size = %d want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || *v != i {
+			t.Fatalf("Pop after growth = %v,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequeInterleavedPushPop(t *testing.T) {
+	d := NewDeque[int]()
+	vals := make([]int, 100)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			vals[round%100] = round
+			d.Push(&vals[round%100])
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := d.Pop(); !ok {
+				t.Fatal("unexpected empty")
+			}
+		}
+	}
+	want := 50 // 50 rounds * (3 pushes - 2 pops)
+	if got := d.Size(); got != want {
+		t.Fatalf("Size = %d want %d", got, want)
+	}
+}
+
+// TestDequeNoLossNoDup is the central safety property: under concurrent
+// owner pops and thief steals, every pushed element is consumed exactly
+// once.
+func TestDequeNoLossNoDup(t *testing.T) {
+	const n = 50_000
+	const thieves = 4
+	d := NewDeque[int]()
+	vals := make([]int, n)
+	seen := make([]atomic.Int32, n)
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < n {
+				if v, ok := d.Steal(); ok {
+					seen[*v].Add(1)
+					consumed.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	// Owner: push everything, popping occasionally.
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.Push(&vals[i])
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				seen[*v].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	// Owner drains the rest.
+	for consumed.Load() < n {
+		if v, ok := d.Pop(); ok {
+			seen[*v].Add(1)
+			consumed.Add(1)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+}
+
+func TestDequeSizeNeverNegative(t *testing.T) {
+	d := NewDeque[int]()
+	x := 7
+	d.Push(&x)
+	d.Pop()
+	d.Pop()
+	if s := d.Size(); s != 0 {
+		t.Fatalf("Size = %d want 0", s)
+	}
+}
+
+func TestMPSCOrdering(t *testing.T) {
+	q := NewMPSC[int]()
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		q.Push(&vals[i])
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || *v != i {
+			t.Fatalf("Pop = %v,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty MPSC returned ok")
+	}
+}
+
+func TestMPSCEmpty(t *testing.T) {
+	q := NewMPSC[int]()
+	if !q.Empty() {
+		t.Fatal("new queue not empty")
+	}
+	x := 1
+	q.Push(&x)
+	if q.Empty() {
+		t.Fatal("queue with element reported empty")
+	}
+	q.Pop()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue popped a value")
+	}
+}
+
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 10_000
+	q := NewMPSC[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				q.Push(&v)
+			}
+		}(p)
+	}
+	got := make(map[int]bool, producers*perProducer)
+	lastPerProducer := make([]int, producers)
+	for i := range lastPerProducer {
+		lastPerProducer[i] = -1
+	}
+	for len(got) < producers*perProducer {
+		v, ok := q.Pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if got[*v] {
+			t.Fatalf("duplicate element %d", *v)
+		}
+		got[*v] = true
+		// FIFO per producer: elements from one producer arrive in order.
+		p := *v / perProducer
+		idx := *v % perProducer
+		if idx <= lastPerProducer[p] {
+			t.Fatalf("per-producer order violated: producer %d saw %d after %d", p, idx, lastPerProducer[p])
+		}
+		lastPerProducer[p] = idx
+	}
+	wg.Wait()
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack[int]()
+	vals := []int{1, 2, 3}
+	for i := range vals {
+		s.Push(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || *v != vals[i] {
+			t.Fatalf("Pop = %v,%v want %d", v, ok, vals[i])
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack returned ok")
+	}
+}
+
+func TestStackConcurrent(t *testing.T) {
+	const workers = 8
+	const per = 5_000
+	s := NewStack[int]()
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	seen := make([]atomic.Int32, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := w*per + i
+				s.Push(&v)
+				if v2, ok := s.Pop(); ok {
+					seen[*v2].Add(1)
+					popped.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for popped.Load() < workers*per {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		seen[*v].Add(1)
+		popped.Add(1)
+	}
+	if popped.Load() != workers*per {
+		t.Fatalf("popped %d want %d", popped.Load(), workers*per)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("element %d popped %d times", i, c)
+		}
+	}
+}
+
+// Property: for any sequence of pushes followed by owner pops, the deque
+// behaves like a stack; followed by steals, like a queue.
+func TestDequeQuickStackQueue(t *testing.T) {
+	f := func(xs []int) bool {
+		d := NewDeque[int]()
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		for i := range cp {
+			d.Push(&cp[i])
+		}
+		// Steal half from the top (oldest first).
+		h := len(cp) / 2
+		for i := 0; i < h; i++ {
+			v, ok := d.Steal()
+			if !ok || *v != cp[i] {
+				return false
+			}
+		}
+		// Pop the rest from the bottom (newest first).
+		for i := len(cp) - 1; i >= h; i-- {
+			v, ok := d.Pop()
+			if !ok || *v != cp[i] {
+				return false
+			}
+		}
+		_, ok := d.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MPSC preserves exact FIFO order for a single producer.
+func TestMPSCQuickFIFO(t *testing.T) {
+	f := func(xs []int) bool {
+		q := NewMPSC[int]()
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		for i := range cp {
+			q.Push(&cp[i])
+		}
+		for i := range cp {
+			v, ok := q.Pop()
+			if !ok || *v != cp[i] {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Treiber stack is a LIFO for sequential use.
+func TestStackQuickLIFO(t *testing.T) {
+	f := func(xs []int) bool {
+		s := NewStack[int]()
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		for i := range cp {
+			s.Push(&cp[i])
+		}
+		for i := len(cp) - 1; i >= 0; i-- {
+			v, ok := s.Pop()
+			if !ok || *v != cp[i] {
+				return false
+			}
+		}
+		_, ok := s.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := NewDeque[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+		d.Pop()
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	d := NewDeque[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+		d.Steal()
+	}
+}
+
+func BenchmarkMPSCPushPop(b *testing.B) {
+	q := NewMPSC[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(&x)
+		q.Pop()
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	s := NewStack[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(&x)
+		s.Pop()
+	}
+}

@@ -1,0 +1,86 @@
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// mpscNode is one link of the MPSC queue.
+type mpscNode[T any] struct {
+	next atomic.Pointer[mpscNode[T]]
+	val  *T
+}
+
+// MPSC is a Vyukov-style intrusive multi-producer/single-consumer queue.
+// The HCMPI communication worker consumes from it; every computation
+// worker produces into it when it creates a communication task. Push is
+// wait-free (one XCHG); Pop is lock-free and must only be called from a
+// single consumer goroutine.
+type MPSC[T any] struct {
+	head atomic.Pointer[mpscNode[T]] // producers swap here
+	tail *mpscNode[T]                // consumer-private
+	stub mpscNode[T]
+}
+
+// NewMPSC returns an empty queue.
+func NewMPSC[T any]() *MPSC[T] {
+	q := &MPSC[T]{}
+	q.head.Store(&q.stub)
+	q.tail = &q.stub
+	return q
+}
+
+// Push enqueues v. Safe from any goroutine; wait-free.
+func (q *MPSC[T]) Push(v *T) {
+	n := &mpscNode[T]{val: v}
+	prev := q.head.Swap(n)
+	prev.next.Store(n)
+}
+
+// Pop dequeues the oldest element. Consumer-only. It returns ok=false both
+// when the queue is empty and in the transient window where a producer has
+// swapped head but not yet linked next; callers should simply retry later
+// (the communication worker polls its worklist in a loop anyway).
+func (q *MPSC[T]) Pop() (*T, bool) {
+	tail := q.tail
+	next := tail.next.Load()
+	if tail == &q.stub {
+		if next == nil {
+			return nil, false
+		}
+		q.tail = next
+		tail = next
+		next = tail.next.Load()
+	}
+	if next != nil {
+		q.tail = next
+		v := tail.val
+		tail.val = nil
+		return v, true
+	}
+	// tail is the last visible node; check whether a producer is mid-push.
+	if q.head.Load() != tail {
+		return nil, false // producer in progress; retry later
+	}
+	// Queue genuinely has one element: push stub behind it and retry.
+	q.stub.next.Store(nil)
+	q.pushNode(&q.stub)
+	next = tail.next.Load()
+	if next != nil {
+		q.tail = next
+		v := tail.val
+		tail.val = nil
+		return v, true
+	}
+	return nil, false
+}
+
+// pushNode enqueues an existing node (used internally to recycle the stub).
+func (q *MPSC[T]) pushNode(n *mpscNode[T]) {
+	prev := q.head.Swap(n)
+	prev.next.Store(n)
+}
+
+// Empty reports whether the queue appears empty to the consumer.
+func (q *MPSC[T]) Empty() bool {
+	return q.tail.next.Load() == nil && q.head.Load() == q.tail
+}

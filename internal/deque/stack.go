@@ -1,0 +1,56 @@
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// stackNode wraps a free-list entry. Nodes are allocated fresh on every
+// Push and never reused, which makes the classic Treiber ABA hazard
+// impossible under Go's garbage collector: a CAS can only succeed against
+// a node that has never been popped, because popped nodes are unreachable
+// from the stack head. The *payload* (a recycled communication task) is
+// what gets reused.
+type stackNode[T any] struct {
+	next *stackNode[T]
+	val  *T
+}
+
+// Stack is a Treiber lock-free stack, used by HCMPI as the free-list of
+// AVAILABLE communication tasks. Push and Pop are safe from any goroutine.
+type Stack[T any] struct {
+	head atomic.Pointer[stackNode[T]]
+	size atomic.Int64
+}
+
+// NewStack returns an empty stack.
+func NewStack[T any]() *Stack[T] { return &Stack[T]{} }
+
+// Push adds v to the stack.
+func (s *Stack[T]) Push(v *T) {
+	n := &stackNode[T]{val: v}
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			s.size.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the most recently pushed element.
+func (s *Stack[T]) Pop() (*T, bool) {
+	for {
+		old := s.head.Load()
+		if old == nil {
+			return nil, false
+		}
+		if s.head.CompareAndSwap(old, old.next) {
+			s.size.Add(-1)
+			return old.val, true
+		}
+	}
+}
+
+// Size returns the approximate number of elements.
+func (s *Stack[T]) Size() int { return int(s.size.Load()) }

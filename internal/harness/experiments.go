@@ -1,0 +1,426 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hcmpi/internal/sim/model"
+	"hcmpi/internal/sw"
+	"hcmpi/internal/uts"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Full selects paper-regime workloads (much slower).
+	Full bool
+}
+
+// Runner produces one experiment's tables.
+type Runner func(o Options) []*Table
+
+// Experiments maps experiment ids (paper table/figure) to runners.
+var Experiments = map[string]Runner{
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"table2": Table2,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"fig18":  Fig18,
+	"fig19":  Fig19,
+	"fig20":  Fig20,
+	"fig21":  Fig21,
+	"table3": Table3,
+	"fig22":  Fig22,
+	"table4": Table4,
+	"fig25":  Fig25,
+
+	"ablation-commworker": AblationCommWorker,
+	"ablation-chunking":   AblationChunking,
+	"ablation-phasertree": AblationPhaserTree,
+
+	"summary": Summary,
+}
+
+// Names returns the experiment ids in order.
+func Names() []string {
+	var ns []string
+	for n := range Experiments {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Run executes one experiment and renders it to w.
+func Run(name string, o Options, w io.Writer) error {
+	r, ok := Experiments[name]
+	if !ok {
+		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Names())
+	}
+	for _, t := range r(o) {
+		t.Render(w)
+	}
+	return nil
+}
+
+var threadCounts = []int{1, 2, 4, 8}
+
+// threadBench builds the Fig. 14/15 tables for one interconnect.
+func threadBench(cm model.CostModel, name string, paperMPIRate, paperHCRate []float64) []*Table {
+	bw := &Table{Title: name + ": bandwidth (Gbit/s) — paper Fig a", Header: []string{"threads", "MPI", "HCMPI"}}
+	rate := &Table{
+		Title:  name + ": message rate (M msgs/s) — paper Fig b",
+		Header: []string{"threads", "MPI", "HCMPI", "paper MPI", "paper HCMPI"},
+	}
+	lat := &Table{Title: name + ": latency (µs, one-way) — paper Fig c", Header: []string{"size"}}
+	for _, t := range threadCounts {
+		lat.Header = append(lat.Header, fmt.Sprintf("MPI T=%d", t), fmt.Sprintf("HC T=%d", t))
+	}
+	latRows := map[int][]string{}
+	for _, sz := range model.LatencySizes {
+		latRows[sz] = []string{fmt.Sprintf("%d", sz)}
+	}
+	for i, t := range threadCounts {
+		m := model.ThreadBenchMPI(t, cm)
+		h := model.ThreadBenchHCMPI(t, cm)
+		bw.Rows = append(bw.Rows, []string{fmt.Sprintf("%d", t), f1(m.BandwidthGbps), f1(h.BandwidthGbps)})
+		rate.Rows = append(rate.Rows, []string{fmt.Sprintf("%d", t), f3(m.MsgRateM), f3(h.MsgRateM), f3(paperMPIRate[i]), f3(paperHCRate[i])})
+		for _, sz := range model.LatencySizes {
+			latRows[sz] = append(latRows[sz], f1(m.LatencyUS[sz]), f1(h.LatencyUS[sz]))
+		}
+	}
+	for _, sz := range model.LatencySizes {
+		lat.Rows = append(lat.Rows, latRows[sz])
+	}
+	rate.Notes = []string{"shape to check: MPI collapses with threads, HCMPI stays flat; crossover by T=4"}
+	return []*Table{bw, rate, lat}
+}
+
+// Fig14 regenerates the MVAPICH2/InfiniBand micro-benchmarks.
+func Fig14(Options) []*Table {
+	return threadBench(model.DefaultCosts(), "Fig 14 (InfiniBand)",
+		[]float64{1.765, 1.081, 0.450, 0.200}, []float64{0.345, 0.629, 0.677, 0.445})
+}
+
+// Fig15 regenerates the MPICH2/Gemini micro-benchmarks.
+func Fig15(Options) []*Table {
+	return threadBench(model.GeminiCosts(), "Fig 15 (Gemini)",
+		[]float64{0.43, 0.02, 0.22, 0.21}, []float64{0.28, 0.42, 0.42, 0.35})
+}
+
+// table2Paper holds the published Table II (µs), indexed
+// [row][nodeIdx][coreIdx] with nodes {2,4,8,16,32,64} and cores {2,4,8}.
+var table2Rows = []struct {
+	name  string
+	sys   model.SyncSystem
+	kind  model.SyncKind
+	paper [6][3]float64
+}{
+	{"MPI Barrier", model.SyncMPI, model.Barrier,
+		[6][3]float64{{3.0, 4.1, 5.1}, {5.8, 6.7, 7.6}, {9.1, 9.8, 11.1}, {12.6, 13.4, 14.7}, {20.0, 19.9, 21.6}, {25.3, 25.7, 26.2}}},
+	{"MPI+OMP Barrier (S)", model.SyncHybridStrict, model.Barrier,
+		[6][3]float64{{2.5, 2.8, 3.9}, {5.0, 5.8, 6.7}, {8.2, 9.1, 10.0}, {11.6, 12.6, 14.2}, {17.2, 19.0, 20.8}, {21.8, 24.7, 26.2}}},
+	{"HCMPI Phaser (S)", model.SyncHCMPIStrict, model.Barrier,
+		[6][3]float64{{2.1, 2.2, 2.7}, {4.8, 4.8, 5.4}, {7.7, 7.7, 8.6}, {11.3, 11.2, 12.1}, {17.2, 17.8, 18.0}, {22.0, 21.7, 23.6}}},
+	{"MPI+OMP Barrier (F)", model.SyncHybridFuzzy, model.Barrier,
+		[6][3]float64{{2.6, 2.9, 3.7}, {4.9, 5.2, 6.1}, {7.3, 8.1, 8.8}, {10.1, 11.1, 12.4}, {13.5, 14.5, 16.6}, {19.4, 20.8, 24.0}}},
+	{"HCMPI Phaser (F)", model.SyncHCMPIFuzzy, model.Barrier,
+		[6][3]float64{{2.1, 2.2, 2.1}, {5.1, 5.1, 5.0}, {7.5, 7.5, 7.6}, {10.9, 10.7, 10.8}, {14.7, 14.3, 14.8}, {19.3, 18.7, 18.7}}},
+	{"MPI Reduction", model.SyncMPI, model.Reduction,
+		[6][3]float64{{3.8, 4.6, 5.2}, {6.3, 7.2, 7.9}, {9.5, 10.7, 12.1}, {12.8, 14.3, 15.3}, {17.7, 18.7, 19.8}, {25.0, 25.7, 26.7}}},
+	{"MPI+OMP Reduction", model.SyncHybridStrict, model.Reduction,
+		[6][3]float64{{3.1, 3.6, 4.9}, {5.4, 5.9, 7.2}, {8.2, 9.1, 10.5}, {11.1, 12.4, 14.1}, {15.1, 16.9, 18.9}, {20.8, 23.4, 25.8}}},
+	{"HCMPI Accumulator", model.SyncHCMPIFuzzy, model.Reduction,
+		[6][3]float64{{2.6, 2.8, 3.5}, {4.9, 5.0, 5.8}, {7.7, 7.8, 9.4}, {10.7, 10.5, 12.3}, {14.7, 15.4, 16.9}, {20.8, 20.6, 23.5}}},
+}
+
+var table2Nodes = []int{2, 4, 8, 16, 32, 64}
+var table2Cores = []int{2, 4, 8}
+
+// Table2 regenerates the EPCC syncbench grid.
+func Table2(Options) []*Table {
+	cm := model.DefaultCosts()
+	out := &Table{
+		Title:  "Table II: collective synchronization (µs) — measured | paper",
+		Header: []string{"system"},
+	}
+	for _, n := range table2Nodes {
+		for _, c := range table2Cores {
+			out.Header = append(out.Header, fmt.Sprintf("%dn/%dc", n, c))
+		}
+	}
+	for _, row := range table2Rows {
+		cells := []string{row.name}
+		for ni, n := range table2Nodes {
+			for ci, c := range table2Cores {
+				got := model.SyncBench(row.sys, row.kind, n, c, cm)
+				cells = append(cells, fmt.Sprintf("%s|%s", f1(got), f1(row.paper[ni][ci])))
+			}
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	out.Notes = []string{"shape to check: HCMPI flattest in cores; fuzzy <= strict; MPI steepest"}
+	return []*Table{out}
+}
+
+// --- UTS ---
+
+func utsTree(o Options, t1 bool) uts.Config {
+	if o.Full {
+		if t1 {
+			return uts.T1Big // ~35M nodes
+		}
+		return uts.T3Big // ~11M nodes
+	}
+	if t1 {
+		return uts.T1Med // ~540k nodes: starved regime reached quickly
+	}
+	// T3Med (~50k nodes) is too starved even at 4 nodes; the binomial
+	// figures default to the mid tree so the low-core rows are work-rich,
+	// as in the paper.
+	return uts.T3Mid
+}
+
+func utsNodes(o Options) []int {
+	if o.Full {
+		return []int{4, 8, 16, 32, 64, 128}
+	}
+	return []int{4, 8, 16, 32}
+}
+
+var utsCores = []int{2, 4, 8, 16}
+
+// utsScaling renders a Fig 16-19 style grid: time (s) per (nodes, cores).
+func utsScaling(o Options, tree uts.Config, title string,
+	run func(n, c int, up model.UTSParams) model.UTSResult) []*Table {
+	up := model.DefaultUTSParams(tree)
+	t := &Table{Title: title, Header: []string{"nodes"}}
+	for _, c := range utsCores {
+		t.Header = append(t.Header, fmt.Sprintf("%d cores/node", c))
+	}
+	for _, n := range utsNodes(o) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range utsCores {
+			r := run(n, c, up)
+			row = append(row, fmt.Sprintf("%.3f", r.Makespan.Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = []string{fmt.Sprintf("tree %s; shape: scaling until work starves, then flat/degrading (log-scale in the paper)", tree.Name)}
+	return []*Table{t}
+}
+
+// Fig16 regenerates UTS/MPI scaling on the T1 family.
+func Fig16(o Options) []*Table {
+	return utsScaling(o, utsTree(o, true), "Fig 16: UTS T1 on MPI — time (s)", model.UTSRunMPI)
+}
+
+// Fig17 regenerates UTS/MPI scaling on the T3 family.
+func Fig17(o Options) []*Table {
+	return utsScaling(o, utsTree(o, false), "Fig 17: UTS T3 on MPI — time (s)", model.UTSRunMPI)
+}
+
+// Fig18 regenerates UTS/HCMPI scaling on the T1 family.
+func Fig18(o Options) []*Table {
+	return utsScaling(o, utsTree(o, true), "Fig 18: UTS T1 on HCMPI — time (s)", model.UTSRunHCMPI)
+}
+
+// Fig19 regenerates UTS/HCMPI scaling on the T3 family.
+func Fig19(o Options) []*Table {
+	return utsScaling(o, utsTree(o, false), "Fig 19: UTS T3 on HCMPI — time (s)", model.UTSRunHCMPI)
+}
+
+// speedupGrid renders Fig 20/21/22 style grids.
+func speedupGrid(o Options, tree uts.Config, title, note string,
+	base func(n, c int, up model.UTSParams) model.UTSResult) []*Table {
+	up := model.DefaultUTSParams(tree)
+	t := &Table{Title: title, Header: []string{"nodes"}}
+	for _, c := range utsCores {
+		t.Header = append(t.Header, fmt.Sprintf("%d cores/node", c))
+	}
+	for _, n := range utsNodes(o) {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range utsCores {
+			b := base(n, c, up)
+			h := model.UTSRunHCMPI(n, c, up)
+			row = append(row, f2(float64(b.Makespan)/float64(h.Makespan)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = []string{note}
+	return []*Table{t}
+}
+
+// Fig20 regenerates the HCMPI-vs-MPI speedup grid on T1.
+func Fig20(o Options) []*Table {
+	return speedupGrid(o, utsTree(o, true),
+		"Fig 20: HCMPI speedup over MPI, UTS T1",
+		"paper: 0.67 at 4n/2c rising to 22.31 at 1024n/16c; <1 at 2 cores/node, crossover by 4",
+		model.UTSRunMPI)
+}
+
+// Fig21 regenerates the HCMPI-vs-MPI speedup grid on T3.
+func Fig21(o Options) []*Table {
+	return speedupGrid(o, utsTree(o, false),
+		"Fig 21: HCMPI speedup over MPI, UTS T3",
+		"paper: 0.67 at 4n/2c rising to 18.47 at 1024n/16c",
+		model.UTSRunMPI)
+}
+
+// Fig22 regenerates the HCMPI-vs-hybrid speedup grid on T1.
+func Fig22(o Options) []*Table {
+	return speedupGrid(o, utsTree(o, true),
+		"Fig 22: HCMPI speedup over MPI+OpenMP, UTS T1",
+		"paper: 0.60-1.0 at low scale rising to 21.15 at 1024n/16c",
+		model.UTSRunHybrid)
+}
+
+// Table3 regenerates the UTS overhead analysis.
+func Table3(o Options) []*Table {
+	tree := utsTree(o, true)
+	up := model.DefaultUTSParams(tree)
+	t := &Table{
+		Title:  "Table III: UTS profile (per-resource averages)",
+		Header: []string{"nodes", "cores", "system", "time(s)", "work(s)", "ovh(s)", "search(s)", "fails"},
+	}
+	nodeSet := []int{8, 16, 32}
+	if o.Full {
+		nodeSet = []int{16, 64, 128}
+	}
+	for _, n := range nodeSet {
+		for _, c := range []int{2, 8, 16} {
+			m := model.UTSRunMPI(n, c, up)
+			h := model.UTSRunHCMPI(n, c, up)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("%d", c), "MPI",
+				f3(m.Makespan.Seconds()), f3(m.AvgWork.Seconds()), f3(m.AvgOverhead.Seconds()), f3(m.AvgSearch.Seconds()),
+				fmt.Sprintf("%d", m.Fails)})
+			t.Rows = append(t.Rows, []string{
+				"", "", "HCMPI",
+				f3(h.Makespan.Seconds()), f3(h.AvgWork.Seconds()), f3(h.AvgOverhead.Seconds()), f3(h.AvgSearch.Seconds()),
+				fmt.Sprintf("%d", h.Fails)})
+		}
+	}
+	t.Notes = []string{
+		"shape to check: HCMPI overhead ~5x smaller; MPI search explodes at high cores;",
+		"MPI failed steals orders of magnitude higher in the starved regime",
+	}
+	return []*Table{t}
+}
+
+// Table4 regenerates the Smith-Waterman DDDF scaling study (Fig 24 is the
+// same data as a curve).
+func Table4(Options) []*Table {
+	sp := model.DefaultSWParams()
+	paper := map[[2]int]float64{
+		{8, 2}: 1955.1, {16, 2}: 942.7, {32, 2}: 479.4, {64, 2}: 258.1, {96, 2}: 192.8,
+		{8, 4}: 668.9, {16, 4}: 336.3, {32, 4}: 184.1, {64, 4}: 109.5, {96, 4}: 86.6,
+		{8, 8}: 294.9, {16, 8}: 155.2, {32, 8}: 87.6, {64, 8}: 50.0, {96, 8}: 37.0,
+		{8, 12}: 192.3, {16, 12}: 102.2, {32, 12}: 57.2, {64, 12}: 32.8, {96, 12}: 24.4,
+	}
+	t := &Table{
+		Title:  "Table IV / Fig 24: Smith-Waterman DDDF scaling — seconds, measured | paper",
+		Header: []string{"cores\\nodes", "8", "16", "32", "64", "96"},
+	}
+	for _, c := range []int{2, 4, 8, 12} {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, n := range []int{8, 16, 32, 64, 96} {
+			got := model.SWRunDDDF(n, c, sp).Seconds()
+			row = append(row, fmt.Sprintf("%.1f|%.1f", got, paper[[2]int{n, c}]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = []string{"1.856M x 1.92M sequences, 9280x9600 outer tiles (200x200 grid)"}
+	return []*Table{t}
+}
+
+// Fig25 regenerates the Smith-Waterman HCMPI-vs-hybrid comparison.
+func Fig25(Options) []*Table {
+	sp := model.Fig25SWParams()
+	spH := sp
+	spH.Cfg.OuterH, spH.Cfg.OuterW = 5800, 6000 // the hybrid's preferred tiling
+	spH.Dist = sw.ColumnCyclic                  // and its preferred distribution
+	paper := map[[2]int]float64{
+		{1, 2}: 0.51, {4, 2}: 0.51, {16, 2}: 0.58,
+		{1, 4}: 0.83, {4, 4}: 0.84, {16, 4}: 0.69,
+		{1, 8}: 1.24, {4, 8}: 1.33, {16, 8}: 1.16,
+		{1, 12}: 1.62, {4, 12}: 1.60, {16, 12}: 1.45,
+	}
+	t := &Table{
+		Title:  "Fig 25: Smith-Waterman speedup MPI+OMP time / HCMPI-DDDF time — measured | paper",
+		Header: []string{"cores\\nodes", "1", "4", "16"},
+	}
+	for _, c := range []int{2, 4, 8, 12} {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, n := range []int{1, 4, 16} {
+			d := model.SWRunDDDF(n, c, sp)
+			h := model.SWRunHybrid(n, c, spH)
+			row = append(row, fmt.Sprintf("%.2f|%.2f", float64(h)/float64(d), paper[[2]int{n, c}]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = []string{"shape to check: hybrid wins at 2-4 cores/node (HCMPI loses a core to the comm worker); DDDF wins beyond ~6"}
+	return []*Table{t}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// AblationCommWorker quantifies the dedicated-communication-worker trade:
+// HCMPI with cores vs cores+1 workers against MPI on the same resources.
+func AblationCommWorker(o Options) []*Table {
+	tree := utsTree(o, true)
+	up := model.DefaultUTSParams(tree)
+	t := &Table{
+		Title:  "Ablation: dedicated communication worker (UTS T1 time, s)",
+		Header: []string{"nodes", "cores", "MPI (all cores compute)", "HCMPI (1 core = comm)"},
+	}
+	for _, cfg := range []struct{ n, c int }{{4, 2}, {4, 16}, {16, 2}, {16, 16}, {32, 8}} {
+		m := model.UTSRunMPI(cfg.n, cfg.c, up)
+		h := model.UTSRunHCMPI(cfg.n, cfg.c, up)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cfg.n), fmt.Sprintf("%d", cfg.c),
+			f3(m.Makespan.Seconds()), f3(h.Makespan.Seconds())})
+	}
+	t.Notes = []string{"the lost compute core hurts at 2 cores/node and pays for itself beyond 4 (paper §I, §IV-B)"}
+	return []*Table{t}
+}
+
+// AblationPhaserTree isolates the paper's §III-A claim that tree-based
+// phasers scale much better than flat phasers: barrier cost at 8 nodes
+// with growing task counts per node, flat vs degree-2 tree aggregation.
+func AblationPhaserTree(Options) []*Table {
+	cm := model.DefaultCosts()
+	t := &Table{
+		Title:  "Ablation: flat vs tree phaser (hcmpi-phaser barrier at 8 nodes, µs)",
+		Header: []string{"tasks/node", "flat", "tree"},
+	}
+	for _, cores := range []int{2, 4, 8, 16, 32, 64, 128} {
+		flat := model.SyncBenchPhaser(8, cores, cm, true)
+		tree := model.SyncBenchPhaser(8, cores, cm, false)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", cores), f1(flat), f1(tree)})
+	}
+	t.Notes = []string{"flat aggregation is linear in tasks, the tree logarithmic (paper §III-A, citing Euro-Par'11/IPDPS'10)"}
+	return []*Table{t}
+}
+
+// AblationChunking sweeps the -c/-i knobs the paper tuned per system.
+func AblationChunking(o Options) []*Table {
+	tree := utsTree(o, true)
+	t := &Table{
+		Title:  "Ablation: UTS chunk size / polling interval (HCMPI 16n/8c, time s)",
+		Header: []string{"chunk", "i=2", "i=4", "i=8", "i=16"},
+	}
+	for _, c := range []int{2, 4, 8, 15, 32} {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, i := range []int{2, 4, 8, 16} {
+			up := model.DefaultUTSParams(tree)
+			up.Chunk, up.Poll = c, i
+			r := model.UTSRunHCMPI(16, 8, up)
+			row = append(row, f3(r.Makespan.Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = []string{"paper's best: MPI T1 -c4 -i16, T3 -c15 -i8; HCMPI -c8 -i4"}
+	return []*Table{t}
+}

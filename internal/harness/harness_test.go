@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "table2", "table3", "table4", "fig25",
+		"ablation-commworker", "ablation-chunking"}
+	for _, n := range want {
+		if _, ok := Experiments[n]; !ok {
+			t.Errorf("experiment %q missing", n)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", Options{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig14Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig14", Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bandwidth", "message rate", "latency", "paper MPI"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("fig14 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table2", Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HCMPI Accumulator") {
+		t.Error("table2 output incomplete")
+	}
+}
+
+func TestFig25Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig25", Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Smith-Waterman") {
+		t.Error("fig25 output incomplete")
+	}
+}
+
+func TestSummaryAllPass(t *testing.T) {
+	tables := Summary(Options{})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if row[2] != "PASS" {
+			t.Errorf("claim %s %q: %s (%s)", row[0], row[1], row[2], row[3])
+		}
+	}
+	if len(tables[0].Rows) < 11 {
+		t.Fatalf("only %d claims checked", len(tables[0].Rows))
+	}
+}
+
+func TestFastExperimentsRender(t *testing.T) {
+	// Cover the remaining runners that execute in a few seconds.
+	for _, id := range []string{"fig25", "table4", "ablation-phasertree"} {
+		var buf bytes.Buffer
+		if err := Run(id, Options{}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestUTSScalingRunnersSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("UTS sweeps are seconds-scale")
+	}
+	// fig18/fig19 (HCMPI) are the fast halves of the UTS figures.
+	for _, id := range []string{"fig18", "fig19"} {
+		var buf bytes.Buffer
+		if err := Run(id, Options{}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "cores/node") {
+			t.Errorf("%s output malformed", id)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+
+	"hcmpi/internal/sim/model"
+	"hcmpi/internal/uts"
+)
+
+// Summary is an acceptance pass over the paper's headline claims: each
+// check re-runs a small experiment and asserts the qualitative shape —
+// who wins, which direction costs grow, where crossovers sit. It is the
+// EXPERIMENTS.md ledger, executable.
+func Summary(o Options) []*Table {
+	t := &Table{
+		Title:  "Acceptance summary: the paper's headline shapes",
+		Header: []string{"#", "claim (paper §)", "verdict", "evidence"},
+	}
+	add := func(claim string, ok bool, evidence string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", len(t.Rows)+1), claim, verdict, evidence})
+	}
+	cm := model.DefaultCosts()
+
+	// 1. Fig 14a: bandwidth parity.
+	m8 := model.ThreadBenchMPI(8, cm)
+	h8 := model.ThreadBenchHCMPI(8, cm)
+	r := m8.BandwidthGbps / h8.BandwidthGbps
+	add("bandwidth equal, MPI vs HCMPI (IV-A)", r > 0.8 && r < 1.25,
+		fmt.Sprintf("%.1f vs %.1f Gb/s", m8.BandwidthGbps, h8.BandwidthGbps))
+
+	// 2. Fig 14b: rate collapse and crossover.
+	m1 := model.ThreadBenchMPI(1, cm)
+	h1 := model.ThreadBenchHCMPI(1, cm)
+	add("multithreaded-MPI msg rate collapses with threads; HCMPI flat (IV-A)",
+		m8.MsgRateM < m1.MsgRateM/3 && h8.MsgRateM > h1.MsgRateM*0.8 && h8.MsgRateM > m8.MsgRateM,
+		fmt.Sprintf("MPI %.2f→%.2f M/s, HCMPI %.2f→%.2f M/s", m1.MsgRateM, m8.MsgRateM, h1.MsgRateM, h8.MsgRateM))
+
+	// 3. Fig 14c: latency growth ordering.
+	add("MPI latency degrades faster with threads than HCMPI (IV-A)",
+		m8.LatencyUS[1024]/m1.LatencyUS[1024] > h8.LatencyUS[1024]/h1.LatencyUS[1024],
+		fmt.Sprintf("growth %.1fx vs %.1fx", m8.LatencyUS[1024]/m1.LatencyUS[1024], h8.LatencyUS[1024]/h1.LatencyUS[1024]))
+
+	// 4. Table II ordering at 8 cores/node.
+	bm := model.SyncBench(model.SyncMPI, model.Barrier, 16, 8, cm)
+	bh := model.SyncBench(model.SyncHybridStrict, model.Barrier, 16, 8, cm)
+	bp := model.SyncBench(model.SyncHCMPIStrict, model.Barrier, 16, 8, cm)
+	bf := model.SyncBench(model.SyncHCMPIFuzzy, model.Barrier, 16, 8, cm)
+	add("barriers: HCMPI < hybrid < MPI; fuzzy <= strict (Table II)",
+		bp < bh && bh < bm && bf <= bp*1.05,
+		fmt.Sprintf("MPI %.1f, hybrid %.1f, strict %.1f, fuzzy %.1f µs", bm, bh, bp, bf))
+
+	// 5. Table II reductions.
+	rm := model.SyncBench(model.SyncMPI, model.Reduction, 16, 8, cm)
+	rh := model.SyncBench(model.SyncHybridStrict, model.Reduction, 16, 8, cm)
+	ra := model.SyncBench(model.SyncHCMPIFuzzy, model.Reduction, 16, 8, cm)
+	add("reductions: accumulator < hybrid < MPI (Table II)", ra < rh && rh < rm,
+		fmt.Sprintf("MPI %.1f, hybrid %.1f, accum %.1f µs", rm, rh, ra))
+
+	// 6-8. UTS (small fast grid).
+	up := model.DefaultUTSParams(uts.T1Med)
+	mLow := model.UTSRunMPI(4, 2, up)
+	hLow := model.UTSRunHCMPI(4, 2, up)
+	mHi := model.UTSRunMPI(16, 16, up)
+	hHi := model.UTSRunHCMPI(16, 16, up)
+	yHi := model.UTSRunHybrid(16, 16, up)
+	add("UTS: HCMPI loses at 2 cores/node, wins big at 16 (Figs 20/21)",
+		hLow.Makespan > mLow.Makespan && float64(mHi.Makespan)/float64(hHi.Makespan) > 3,
+		fmt.Sprintf("4n/2c speedup %.2f; 16n/16c speedup %.2f",
+			float64(mLow.Makespan)/float64(hLow.Makespan), float64(mHi.Makespan)/float64(hHi.Makespan)))
+	add("UTS: failed steals orders of magnitude higher for MPI (Table III)",
+		mHi.Fails > 10*hHi.Fails,
+		fmt.Sprintf("%d vs %d", mHi.Fails, hHi.Fails))
+	add("UTS: hybrid sits between MPI and HCMPI at scale (Fig 22)",
+		hHi.Makespan < yHi.Makespan && yHi.Makespan < mHi.Makespan,
+		fmt.Sprintf("HCMPI %.3fs < hybrid %.3fs < MPI %.3fs",
+			hHi.Makespan.Seconds(), yHi.Makespan.Seconds(), mHi.Makespan.Seconds()))
+
+	// 9. Table IV magnitude.
+	sp := model.DefaultSWParams()
+	sw82 := model.SWRunDDDF(8, 2, sp).Seconds()
+	add("SW DDDF at 8n/2c within 40% of the paper's 1955s (Table IV)",
+		sw82 > 1955*0.6 && sw82 < 1955*1.4, fmt.Sprintf("%.0fs", sw82))
+
+	// 10. Fig 25 crossover.
+	f25 := model.Fig25SWParams()
+	f25h := f25
+	f25h.Cfg.OuterH, f25h.Cfg.OuterW = 5800, 6000
+	d2 := model.SWRunDDDF(4, 2, f25)
+	y2 := model.SWRunHybrid(4, 2, f25h)
+	d12 := model.SWRunDDDF(4, 12, f25)
+	y12 := model.SWRunHybrid(4, 12, f25h)
+	add("SW: hybrid wins at 2 cores/node, DDDF beyond ~6 (Fig 25)",
+		y2 < d2 && d12 < y12,
+		fmt.Sprintf("ratios %.2f at 2c, %.2f at 12c", float64(y2)/float64(d2), float64(y12)/float64(d12)))
+
+	// 11. Tree phaser ablation.
+	flat := model.SyncBenchPhaser(8, 64, cm, true)
+	tree := model.SyncBenchPhaser(8, 64, cm, false)
+	add("tree phasers scale much better than flat (III-A)", tree < flat*0.7,
+		fmt.Sprintf("%.1f vs %.1f µs at 64 tasks", tree, flat))
+
+	return []*Table{t}
+}

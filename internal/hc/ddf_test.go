@@ -1,0 +1,336 @@
+package hc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDDFSingleAssignment(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			d := NewDDF()
+			if d.Full() {
+				t.Error("fresh DDF is full")
+			}
+			if _, err := d.Get(); !errors.Is(err, ErrDDFEmpty) {
+				t.Errorf("Get on empty = %v", err)
+			}
+			d.Put(ctx, 42)
+			if v := d.MustGet(); v != 42 {
+				t.Errorf("MustGet = %v", v)
+			}
+			if err := d.TryPut(ctx, 43); !errors.Is(err, ErrDDFAlreadyPut) {
+				t.Errorf("second put err = %v", err)
+			}
+			if v := d.MustGet(); v != 42 {
+				t.Errorf("value changed after failed put: %v", v)
+			}
+		})
+	})
+}
+
+func TestSecondPutPanics(t *testing.T) {
+	withRT(t, 1, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			d := NewDDF()
+			d.Put(ctx, 1)
+			defer func() {
+				if recover() == nil {
+					t.Error("second Put did not panic")
+				}
+			}()
+			d.Put(ctx, 2)
+		})
+	})
+}
+
+func TestAwaitReleasesAfterAllPuts(t *testing.T) {
+	withRT(t, 3, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			a, b, c := NewDDF(), NewDDF(), NewDDF()
+			var ran atomic.Bool
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwait(func(*Ctx) {
+					// All three must be readable.
+					if a.MustGet() != 1 || b.MustGet() != 2 || c.MustGet() != 3 {
+						t.Error("await task saw wrong values")
+					}
+					ran.Store(true)
+				}, a, b, c)
+				ctx.Async(func(ctx *Ctx) { a.Put(ctx, 1) })
+				ctx.Async(func(ctx *Ctx) { b.Put(ctx, 2) })
+				if ran.Load() {
+					t.Error("DDT ran before final put")
+				}
+				ctx.Async(func(ctx *Ctx) { c.Put(ctx, 3) })
+			})
+			if !ran.Load() {
+				t.Error("DDT never ran")
+			}
+		})
+	})
+}
+
+func TestAwaitAlreadyFull(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			a := NewDDF()
+			a.Put(ctx, "x")
+			var ran atomic.Bool
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwait(func(*Ctx) { ran.Store(true) }, a)
+			})
+			if !ran.Load() {
+				t.Error("await on already-full DDF never released")
+			}
+		})
+	})
+}
+
+func TestAwaitEmptyListIsAsync(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			var n atomic.Int64
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwait(func(*Ctx) { n.Add(1) })
+				ctx.AsyncAwaitAny(func(*Ctx) { n.Add(1) })
+			})
+			if n.Load() != 2 {
+				t.Errorf("n = %d", n.Load())
+			}
+		})
+	})
+}
+
+func TestAwaitAnyReleasedExactlyOnce(t *testing.T) {
+	withRT(t, 4, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			for trial := 0; trial < 50; trial++ {
+				var runs atomic.Int64
+				ddfs := []*DDF{NewDDF(), NewDDF(), NewDDF(), NewDDF()}
+				ctx.Finish(func(ctx *Ctx) {
+					ctx.AsyncAwaitAny(func(*Ctx) { runs.Add(1) }, ddfs...)
+					// Concurrent puts race to release the OR task.
+					for _, d := range ddfs {
+						d := d
+						ctx.Async(func(ctx *Ctx) { d.Put(ctx, 1) })
+					}
+				})
+				if runs.Load() != 1 {
+					t.Fatalf("trial %d: OR task ran %d times", trial, runs.Load())
+				}
+			}
+		})
+	})
+}
+
+func TestAwaitAnyAlreadySatisfied(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			a, b := NewDDF(), NewDDF()
+			b.Put(ctx, 7)
+			var ran atomic.Bool
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwaitAny(func(*Ctx) { ran.Store(true) }, a, b)
+			})
+			if !ran.Load() {
+				t.Error("OR task with satisfied member never ran")
+			}
+			// a stays empty; nothing further should be pending.
+		})
+	})
+}
+
+func TestAwaitChain(t *testing.T) {
+	// A dependence chain d0 <- d1 <- ... <- dN, each task putting the
+	// next: classic dataflow pipeline.
+	withRT(t, 3, func(rt *Runtime) {
+		const n = 64
+		rt.Root(func(ctx *Ctx) {
+			ddfs := make([]*DDF, n+1)
+			for i := range ddfs {
+				ddfs[i] = NewDDF()
+			}
+			ctx.Finish(func(ctx *Ctx) {
+				for i := 0; i < n; i++ {
+					i := i
+					ctx.AsyncAwait(func(ctx *Ctx) {
+						v := ddfs[i].MustGet().(int)
+						ddfs[i+1].Put(ctx, v+1)
+					}, ddfs[i])
+				}
+				ddfs[0].Put(ctx, 0)
+			})
+			if got := ddfs[n].MustGet(); got != n {
+				t.Errorf("chain result = %v want %d", got, n)
+			}
+		})
+	})
+}
+
+func TestPutFromOutsidePool(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		d := NewDDF()
+		released := make(chan struct{})
+		go func() {
+			time.Sleep(time.Millisecond)
+			if err := d.TryPut(nil, 99); err != nil { // nil ctx: external putter
+				t.Errorf("external put: %v", err)
+			}
+		}()
+		rt.Root(func(ctx *Ctx) {
+			ctx.AsyncAwait(func(*Ctx) {
+				if d.MustGet() != 99 {
+					t.Error("wrong value from external put")
+				}
+				close(released)
+			}, d)
+		})
+		<-released
+	})
+}
+
+func TestDuplicateDDFInAwaitList(t *testing.T) {
+	withRT(t, 2, func(rt *Runtime) {
+		rt.Root(func(ctx *Ctx) {
+			d := NewDDF()
+			var ran atomic.Bool
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwait(func(*Ctx) { ran.Store(true) }, d, d)
+				d.Put(ctx, 1)
+			})
+			if !ran.Load() {
+				t.Error("await with duplicate DDF never released")
+			}
+		})
+	})
+}
+
+// Property: a fan-in of K producers into one AND-await always runs the
+// consumer exactly once, and the consumer observes every value.
+func TestQuickFanIn(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	f := func(k uint8) bool {
+		n := int(k%16) + 1
+		var runs atomic.Int64
+		var sum atomic.Int64
+		ok := true
+		rt.Root(func(ctx *Ctx) {
+			ddfs := make([]*DDF, n)
+			for i := range ddfs {
+				ddfs[i] = NewDDF()
+			}
+			ctx.Finish(func(ctx *Ctx) {
+				ctx.AsyncAwait(func(*Ctx) {
+					runs.Add(1)
+					for _, d := range ddfs {
+						sum.Add(int64(d.MustGet().(int)))
+					}
+				}, ddfs...)
+				for i, d := range ddfs {
+					i, d := i, d
+					ctx.Async(func(ctx *Ctx) { d.Put(ctx, i+1) })
+				}
+			})
+		})
+		if runs.Load() != 1 || sum.Load() != int64(n*(n+1)/2) {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Smith-Waterman-shaped wavefront over DDFs (the paper's Fig. 9 shape):
+// every interior cell awaits above/left/diag.
+func TestWavefrontDataflow(t *testing.T) {
+	withRT(t, 4, func(rt *Runtime) {
+		const h, w = 12, 15
+		m := make([][]*DDF, h)
+		for i := range m {
+			m[i] = make([]*DDF, w)
+			for j := range m[i] {
+				m[i][j] = NewDDF()
+			}
+		}
+		rt.Root(func(ctx *Ctx) {
+			ctx.Finish(func(ctx *Ctx) {
+				for i := 0; i < h; i++ {
+					for j := 0; j < w; j++ {
+						i, j := i, j
+						switch {
+						case i == 0 && j == 0:
+							m[0][0].Put(ctx, 0)
+						case i == 0:
+							ctx.AsyncAwait(func(ctx *Ctx) {
+								m[0][j].Put(ctx, m[0][j-1].MustGet().(int)+1)
+							}, m[0][j-1])
+						case j == 0:
+							ctx.AsyncAwait(func(ctx *Ctx) {
+								m[i][0].Put(ctx, m[i-1][0].MustGet().(int)+1)
+							}, m[i-1][0])
+						default:
+							ctx.AsyncAwait(func(ctx *Ctx) {
+								a := m[i-1][j].MustGet().(int)
+								l := m[i][j-1].MustGet().(int)
+								d := m[i-1][j-1].MustGet().(int)
+								v := max(a, max(l, d)) + 1
+								m[i][j].Put(ctx, v)
+							}, m[i-1][j], m[i][j-1], m[i-1][j-1])
+						}
+					}
+				}
+			})
+		})
+		// Cell (i,j) holds i+j on this recurrence.
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				if got := m[i][j].MustGet().(int); got != i+j {
+					t.Fatalf("m[%d][%d] = %d want %d", i, j, got, i+j)
+				}
+			}
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAwaitBlockingHelper(t *testing.T) {
+	// DDF.Await is the runtime-internal blocking read (phaser masters use
+	// it while waiting on the communication worker).
+	withRT(t, 2, func(rt *Runtime) {
+		d := NewDDF()
+		got := make(chan any, 2)
+		go func() { got <- d.Await() }()
+		time.Sleep(2 * time.Millisecond)
+		rt.Root(func(ctx *Ctx) { d.Put(ctx, "v") })
+		if v := <-got; v != "v" {
+			t.Fatalf("Await got %v", v)
+		}
+		// Await after put returns immediately.
+		if v := d.Await(); v != "v" {
+			t.Fatalf("second Await got %v", v)
+		}
+	})
+}
+
+func TestMustGetPanicsOnEmpty(t *testing.T) {
+	d := NewDDF()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on empty DDF did not panic")
+		}
+	}()
+	d.MustGet()
+}

@@ -1,0 +1,227 @@
+package hc
+
+import (
+	"fmt"
+
+	"hcmpi/internal/deque"
+)
+
+// Hierarchical Place Trees (paper §II-A, citing Yan et al. LCPC'09): an
+// abstraction of the machine's locality hierarchy. Tasks can be spawned
+// at places — cores, cache groups, whole sockets — and the work-stealing
+// scheduler prefers work that is close: a worker draws from its own
+// deque, then from the place queues on its leaf-to-root path, and steals
+// from workers in nearby subtrees before distant ones.
+//
+// The paper's experiments use the default single-level HPT; this
+// implementation provides the general tree, and New() without an HPT
+// still defaults to the single level.
+
+// Place is one node of the HPT.
+type Place struct {
+	id       int
+	parent   *Place
+	children []*Place
+	queue    *deque.Stack[Task] // tasks spawned at this place
+	leaves   []int              // leaf indexes covered by this subtree
+}
+
+// ID returns the place's identifier (pre-order numbering).
+func (p *Place) ID() int { return p.id }
+
+// Parent returns the enclosing place (hc_get_parent_place), nil at the
+// root.
+func (p *Place) Parent() *Place { return p.parent }
+
+// Children returns the sub-places.
+func (p *Place) Children() []*Place { return p.children }
+
+// IsLeaf reports whether workers attach directly to this place.
+func (p *Place) IsLeaf() bool { return len(p.children) == 0 }
+
+// HPT is a fully built place tree.
+type HPT struct {
+	root   *Place
+	places []*Place
+	leaf   []*Place // leaf list in attachment order
+}
+
+// Root returns the tree root.
+func (h *HPT) Root() *Place { return h.root }
+
+// Places returns every place in pre-order.
+func (h *HPT) Places() []*Place { return h.places }
+
+// Leaves returns the leaf places workers attach to.
+func (h *HPT) Leaves() []*Place { return h.leaf }
+
+// PlaceSpec describes a subtree when building an HPT.
+type PlaceSpec struct {
+	Children []PlaceSpec
+}
+
+// BuildHPT constructs a place tree from a spec. A spec with no children
+// is a leaf.
+func BuildHPT(spec PlaceSpec) *HPT {
+	h := &HPT{}
+	h.root = h.build(spec, nil)
+	h.fillLeaves(h.root)
+	return h
+}
+
+// TwoLevelHPT is the common case: `groups` leaf places under one root,
+// modelling e.g. sockets or shared caches.
+func TwoLevelHPT(groups int) *HPT {
+	spec := PlaceSpec{Children: make([]PlaceSpec, groups)}
+	return BuildHPT(spec)
+}
+
+func (h *HPT) build(spec PlaceSpec, parent *Place) *Place {
+	p := &Place{id: len(h.places), parent: parent, queue: deque.NewStack[Task]()}
+	h.places = append(h.places, p)
+	for _, cs := range spec.Children {
+		p.children = append(p.children, h.build(cs, p))
+	}
+	if p.IsLeaf() {
+		p.leaves = []int{len(h.leaf)}
+		h.leaf = append(h.leaf, p)
+	}
+	return p
+}
+
+func (h *HPT) fillLeaves(p *Place) {
+	for _, c := range p.children {
+		h.fillLeaves(c)
+		p.leaves = append(p.leaves, c.leaves...)
+	}
+}
+
+// NewWithHPT creates a runtime whose n workers are attached round-robin
+// to the HPT's leaves. Steal order is locality-aware: a worker prefers
+// victims sharing its leaf, then each ancestor subtree in turn.
+func NewWithHPT(n int, hpt *HPT, extraStealSources ...*deque.Deque[Task]) *Runtime {
+	if hpt == nil || len(hpt.leaf) == 0 {
+		panic("hc: HPT with no leaves")
+	}
+	rt := newRuntime(n, extraStealSources...)
+	rt.hpt = hpt
+	for i, w := range rt.workers {
+		w.place = hpt.leaf[i%len(hpt.leaf)]
+	}
+	// Victim orders need every attachment in place first — and all of
+	// this must happen before any worker goroutine starts.
+	for i, w := range rt.workers {
+		w.victims = victimOrder(rt, i)
+	}
+	rt.start()
+	return rt
+}
+
+// HPT returns the runtime's place tree (nil for the default single
+// level).
+func (rt *Runtime) HPT() *HPT { return rt.hpt }
+
+// victimOrder ranks other workers by HPT distance from worker i.
+func victimOrder(rt *Runtime, i int) []int {
+	me := rt.workers[i].place
+	type cand struct{ id, dist int }
+	var cs []cand
+	for j, w := range rt.workers {
+		if j == i {
+			continue
+		}
+		cs = append(cs, cand{j, placeDistance(me, w.place)})
+	}
+	// Stable sort by distance (insertion, tiny n).
+	for a := 1; a < len(cs); a++ {
+		for b := a; b > 0 && cs[b].dist < cs[b-1].dist; b-- {
+			cs[b], cs[b-1] = cs[b-1], cs[b]
+		}
+	}
+	out := make([]int, len(cs))
+	for k, c := range cs {
+		out[k] = c.id
+	}
+	return out
+}
+
+// placeDistance is the tree distance between two places.
+func placeDistance(a, b *Place) int {
+	da, db := depth(a), depth(b)
+	d := 0
+	for da > db {
+		a = a.parent
+		da--
+		d++
+	}
+	for db > da {
+		b = b.parent
+		db--
+		d++
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+		d += 2
+	}
+	return d
+}
+
+func depth(p *Place) int {
+	d := 0
+	for p.parent != nil {
+		p = p.parent
+		d++
+	}
+	return d
+}
+
+// CurrentPlace returns the place the executing worker is attached to
+// (hc_get_current_place); nil when the runtime has no HPT or the task
+// runs on a detached context.
+func (c *Ctx) CurrentPlace() *Place { return c.w.place }
+
+// AsyncAtPlace spawns fn at a place: the task lands in the place's queue
+// and is preferentially picked up by workers whose leaf-to-root path
+// passes through it.
+func (c *Ctx) AsyncAtPlace(p *Place, fn func(*Ctx)) {
+	if p == nil {
+		c.Async(fn)
+		return
+	}
+	f := c.finish
+	if f != nil {
+		f.inc()
+	}
+	p.queue.Push(&Task{fn: fn, finish: f})
+	c.w.rt.Wake()
+}
+
+// placeNext scans the worker's leaf-to-root place path for queued tasks.
+func (w *worker) placeNext() (Task, bool) {
+	for p := w.place; p != nil; p = p.parent {
+		if t, ok := p.queue.Pop(); ok {
+			return *t, true
+		}
+	}
+	return Task{}, false
+}
+
+// String renders the tree shape for diagnostics.
+func (h *HPT) String() string {
+	var render func(p *Place) string
+	render = func(p *Place) string {
+		if p.IsLeaf() {
+			return fmt.Sprintf("L%d", p.id)
+		}
+		s := fmt.Sprintf("P%d(", p.id)
+		for i, c := range p.children {
+			if i > 0 {
+				s += " "
+			}
+			s += render(c)
+		}
+		return s + ")"
+	}
+	return render(h.root)
+}

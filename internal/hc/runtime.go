@@ -1,0 +1,519 @@
+// Package hc implements the Habanero-C intra-node runtime the paper
+// builds HCMPI on: a pool of computation workers with Chase–Lev
+// work-stealing deques, async/finish structured task parallelism, and
+// data-driven tasks (DDTs) synchronizing through data-driven futures
+// (DDFs).
+//
+// Tasks receive a *Ctx, the moral equivalent of Habanero-C's implicit
+// current-worker/current-finish state; async spawns a child task into the
+// current worker's deque and finish joins every task transitively spawned
+// in its scope. The join is help-first: a worker blocked at the end of a
+// finish executes other tasks (its own deque first, then steals) instead
+// of idling, and parks only when the whole runtime has no visible work.
+package hc
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcmpi/internal/deque"
+)
+
+// Task is one schedulable unit: a closure plus the finish scope it
+// belongs to.
+type Task struct {
+	fn     func(*Ctx)
+	finish *Finish
+}
+
+// NewTask builds a task bound to a finish scope; used by runtime clients
+// (the HCMPI communication worker) that release tasks onto steal-visible
+// deques themselves.
+func NewTask(fn func(*Ctx), f *Finish) Task { return Task{fn: fn, finish: f} }
+
+// Runtime is one node's worker pool.
+type Runtime struct {
+	workers  []*worker
+	inject   *deque.Stack[Task]   // tasks from non-worker goroutines
+	stealSet []*deque.Deque[Task] // deques visible to thieves (fixed at New)
+
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	sleepers atomic.Int32
+	done     atomic.Bool
+
+	wg sync.WaitGroup
+
+	// hpt, when non-nil, drives locality-aware spawning and stealing.
+	hpt *HPT
+
+	// Stats.
+	steals   atomic.Int64
+	tasksRun atomic.Int64
+}
+
+type worker struct {
+	id    int
+	rt    *Runtime
+	deque *deque.Deque[Task]
+	rng   *rand.Rand
+	// detached marks contexts that do not own a pool-visible deque
+	// (dedicated goroutines for blocking tasks); their spawns are
+	// injected into the pool instead.
+	detached bool
+	// place is the HPT leaf this worker is attached to (nil without an
+	// HPT); victims orders steal targets by place distance.
+	place   *Place
+	victims []int
+}
+
+// Ctx is the execution context handed to every task: which worker is
+// running it and which finish scope encloses it.
+type Ctx struct {
+	w      *worker
+	finish *Finish
+}
+
+// Worker returns the executing worker's id, in [0, NumWorkers).
+func (c *Ctx) Worker() int { return c.w.id }
+
+// NumWorkers returns the size of the computation worker pool.
+func (c *Ctx) NumWorkers() int { return len(c.w.rt.workers) }
+
+// Runtime returns the runtime executing this task.
+func (c *Ctx) Runtime() *Runtime { return c.w.rt }
+
+// CurrentFinish exposes the enclosing finish scope (used by runtime
+// clients such as the HCMPI communication layer to attribute released
+// continuations to the right scope).
+func (c *Ctx) CurrentFinish() *Finish { return c.finish }
+
+// New creates a runtime with n computation workers and starts them.
+// extraStealSources are deques owned by non-worker components (HCMPI's
+// communication worker) that computation workers may steal from — the
+// paper's comm worker "pushes the continuation of the finish onto its
+// deque to be stolen by computation workers".
+func New(n int, extraStealSources ...*deque.Deque[Task]) *Runtime {
+	rt := newRuntime(n, extraStealSources...)
+	rt.start()
+	return rt
+}
+
+// newRuntime builds the structures without launching workers, so
+// variants (NewWithHPT) can finish wiring before any worker runs.
+func newRuntime(n int, extraStealSources ...*deque.Deque[Task]) *Runtime {
+	if n <= 0 {
+		panic(fmt.Sprintf("hc: worker count %d", n))
+	}
+	rt := &Runtime{inject: deque.NewStack[Task]()}
+	rt.idleCond = sync.NewCond(&rt.idleMu)
+	for i := 0; i < n; i++ {
+		w := &worker{id: i, rt: rt, deque: deque.NewDeque[Task](), rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+		rt.workers = append(rt.workers, w)
+		rt.stealSet = append(rt.stealSet, w.deque)
+	}
+	rt.stealSet = append(rt.stealSet, extraStealSources...)
+	return rt
+}
+
+func (rt *Runtime) start() {
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.loop()
+	}
+}
+
+// NumWorkers returns the pool size.
+func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
+
+// Steals returns the number of successful intra-node steals so far.
+func (rt *Runtime) Steals() int64 { return rt.steals.Load() }
+
+// TasksRun returns the number of tasks executed so far.
+func (rt *Runtime) TasksRun() int64 { return rt.tasksRun.Load() }
+
+// Shutdown stops the workers after the currently running tasks finish.
+// Pending queued tasks are discarded; callers should have joined their
+// work (via Root/finish) first.
+func (rt *Runtime) Shutdown() {
+	rt.done.Store(true)
+	rt.idleMu.Lock()
+	rt.idleCond.Broadcast()
+	rt.idleMu.Unlock()
+	rt.wg.Wait()
+}
+
+// Root runs f as a top-level task inside an implicit finish and blocks
+// the calling (non-worker) goroutine until f and everything it spawned
+// have completed.
+func (rt *Runtime) Root(f func(*Ctx)) {
+	root := rt.NewFinish(nil)
+	root.inc()
+	done := make(chan struct{})
+	root.onZero = func() { close(done) }
+	rt.Submit(Task{finish: root, fn: f})
+	<-done
+}
+
+// NewFinish creates a detached finish scope bound to this runtime.
+func (rt *Runtime) NewFinish(parent *Finish) *Finish {
+	return &Finish{rt: rt, parent: parent}
+}
+
+// Submit enqueues a task from a non-worker goroutine.
+func (rt *Runtime) Submit(t Task) {
+	rt.inject.Push(&t)
+	rt.Wake()
+}
+
+// Wake rouses parked workers; clients pushing to external steal-visible
+// deques must call it after each push.
+func (rt *Runtime) Wake() {
+	if rt.sleepers.Load() > 0 {
+		rt.idleMu.Lock()
+		rt.idleCond.Broadcast()
+		rt.idleMu.Unlock()
+	}
+}
+
+// next finds runnable work for w: own deque, own place path, injected
+// tasks, then steals.
+func (w *worker) next() (Task, bool) {
+	if t, ok := w.deque.Pop(); ok {
+		return *t, true
+	}
+	if w.place != nil {
+		if t, ok := w.placeNext(); ok {
+			return t, true
+		}
+	}
+	if t, ok := w.rt.inject.Pop(); ok {
+		return *t, true
+	}
+	return w.stealOnce()
+}
+
+// stealOnce makes one sweep over the other deques: in HPT mode ordered
+// by place distance, otherwise from a random start.
+func (w *worker) stealOnce() (Task, bool) {
+	rt := w.rt
+	if w.victims != nil {
+		for _, v := range w.victims {
+			if t, ok := rt.workers[v].deque.Steal(); ok {
+				rt.steals.Add(1)
+				return *t, true
+			}
+		}
+		// Foreign place queues (covers leaves with no attached worker)
+		// and external steal sources.
+		if rt.hpt != nil {
+			for _, p := range rt.hpt.places {
+				if t, ok := p.queue.Pop(); ok {
+					rt.steals.Add(1)
+					return *t, true
+				}
+			}
+		}
+		for _, d := range rt.stealSet[len(rt.workers):] {
+			if t, ok := d.Steal(); ok {
+				rt.steals.Add(1)
+				return *t, true
+			}
+		}
+		return Task{}, false
+	}
+	n := len(rt.stealSet)
+	if n <= 1 {
+		return Task{}, false
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		d := rt.stealSet[(start+i)%n]
+		if d == w.deque {
+			continue
+		}
+		if t, ok := d.Steal(); ok {
+			rt.steals.Add(1)
+			return *t, true
+		}
+	}
+	return Task{}, false
+}
+
+func (w *worker) run(t Task) {
+	w.rt.tasksRun.Add(1)
+	ctx := &Ctx{w: w, finish: t.finish}
+	t.fn(ctx)
+	if t.finish != nil {
+		t.finish.dec()
+	}
+}
+
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	rt := w.rt
+	for {
+		if t, ok := w.next(); ok {
+			w.run(t)
+			continue
+		}
+		if rt.done.Load() {
+			return
+		}
+		// Park: announce sleeping, re-scan once to close the missed
+		// wakeup window, then wait.
+		rt.idleMu.Lock()
+		rt.sleepers.Add(1)
+		if t, ok := w.next(); ok {
+			rt.sleepers.Add(-1)
+			rt.idleMu.Unlock()
+			w.run(t)
+			continue
+		}
+		if rt.done.Load() {
+			rt.sleepers.Add(-1)
+			rt.idleMu.Unlock()
+			return
+		}
+		rt.idleCond.Wait()
+		rt.sleepers.Add(-1)
+		rt.idleMu.Unlock()
+	}
+}
+
+// Async spawns fn as a child task in the current finish scope. The child
+// goes to the bottom of the current worker's deque (newest-first for the
+// owner, oldest-first for thieves).
+func (c *Ctx) Async(fn func(*Ctx)) {
+	f := c.finish
+	if f != nil {
+		f.inc()
+	}
+	if c.w.detached {
+		t := Task{fn: fn, finish: f}
+		c.w.rt.inject.Push(&t)
+		c.w.rt.Wake()
+		return
+	}
+	c.w.deque.Push(&Task{fn: fn, finish: f})
+	c.w.rt.Wake()
+}
+
+// AsyncBlocking spawns fn on a dedicated goroutine (not a pool worker)
+// under the current finish scope, with a detached context. Use it for
+// tasks that legitimately block — e.g. tasks registered on phasers, which
+// suspend at every next. In Habanero-C such tasks suspend on the worker;
+// Go's goroutines give the same semantics without pinning a worker.
+func (c *Ctx) AsyncBlocking(fn func(*Ctx)) {
+	f := c.finish
+	if f != nil {
+		f.inc()
+	}
+	rt := c.w.rt
+	go func() {
+		dw := &worker{
+			id:       int(helperIDs.Add(1)) + len(rt.workers),
+			rt:       rt,
+			deque:    deque.NewDeque[Task](),
+			rng:      rand.New(rand.NewSource(helperIDs.Load()*48611 + 3)),
+			detached: true,
+		}
+		ctx := &Ctx{w: dw, finish: f}
+		fn(ctx)
+		if f != nil {
+			f.dec()
+		}
+	}()
+}
+
+// AsyncAt spawns fn preferring execution on worker wid. The current
+// implementation is a single-level Hierarchical Place Tree (the paper's
+// default configuration): the hint only selects the submission path;
+// stealing may still move the task.
+func (c *Ctx) AsyncAt(wid int, fn func(*Ctx)) {
+	f := c.finish
+	if f != nil {
+		f.inc()
+	}
+	if !c.w.detached && (wid == c.w.id || wid < 0 || wid >= len(c.w.rt.workers)) {
+		c.w.deque.Push(&Task{fn: fn, finish: f})
+		c.w.rt.Wake()
+		return
+	}
+	// Cross-worker pushes would violate the deque owner discipline, so
+	// route through the shared inject stack.
+	t := Task{fn: fn, finish: f}
+	c.w.rt.inject.Push(&t)
+	c.w.rt.Wake()
+}
+
+// ForAsync spawns body over the iteration space [0,n) in chunks of the
+// given size, one async task per chunk, within the current finish scope
+// (Habanero-C's forasync with loop chunking, as in the paper's Fig. 2).
+// chunk <= 0 picks ~4 chunks per worker.
+func (c *Ctx) ForAsync(n, chunk int, body func(ctx *Ctx, i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (c.NumWorkers() * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	for lo := 0; lo < n; lo += chunk {
+		lo := lo
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.Async(func(ctx *Ctx) {
+			for i := lo; i < hi; i++ {
+				body(ctx, i)
+			}
+		})
+	}
+}
+
+// Finish runs body and then blocks until every task spawned transitively
+// within it has terminated. While blocked, the worker executes other
+// available tasks (help-first join).
+func (c *Ctx) Finish(body func(*Ctx)) {
+	f := c.w.rt.NewFinish(c.finish)
+	inner := &Ctx{w: c.w, finish: f}
+	body(inner)
+	c.w.join(f)
+}
+
+// join helps until f's task count drains to zero.
+func (w *worker) join(f *Finish) {
+	rt := w.rt
+	for f.count.Load() > 0 {
+		if t, ok := w.next(); ok {
+			w.run(t)
+			continue
+		}
+		rt.idleMu.Lock()
+		rt.sleepers.Add(1)
+		if f.count.Load() == 0 {
+			rt.sleepers.Add(-1)
+			rt.idleMu.Unlock()
+			return
+		}
+		if t, ok := w.next(); ok {
+			rt.sleepers.Add(-1)
+			rt.idleMu.Unlock()
+			w.run(t)
+			continue
+		}
+		rt.idleCond.Wait()
+		rt.sleepers.Add(-1)
+		rt.idleMu.Unlock()
+	}
+}
+
+// helperIDs hands out worker ids above the real pool for help-first
+// execution contexts.
+var helperIDs atomic.Int64
+
+// HelpUntil keeps the calling goroutine productive while it waits for an
+// external condition: it executes queued tasks (as a thief over every
+// steal-visible deque, plus the inject queue) until pred() returns true.
+// Blocking constructs — phaser next, HCMPI wait paths — use it so that a
+// logically blocked task does not idle its worker (help-first policy).
+//
+// Tasks executed here run under a helper context whose Worker() id is
+// outside [0, NumWorkers); code keyed on worker ids must tolerate that.
+func (rt *Runtime) HelpUntil(pred func() bool) {
+	if pred() {
+		return
+	}
+	hw := &worker{
+		id:    int(helperIDs.Add(1)) + len(rt.workers) - 1 + 1,
+		rt:    rt,
+		deque: deque.NewDeque[Task](),
+		rng:   rand.New(rand.NewSource(helperIDs.Load()*40503 + 7)),
+	}
+	idle := 0
+	for !pred() {
+		if t, ok := hw.deque.Pop(); ok {
+			hw.run(*t)
+			idle = 0
+			continue
+		}
+		if t, ok := rt.inject.Pop(); ok {
+			hw.run(*t)
+			idle = 0
+			continue
+		}
+		if t, ok := hw.stealAll(); ok {
+			hw.run(t)
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	// Anything spawned by helped tasks and not yet executed becomes
+	// globally visible again.
+	for {
+		t, ok := hw.deque.Pop()
+		if !ok {
+			break
+		}
+		rt.Submit(*t)
+	}
+}
+
+// stealAll sweeps every steal-visible deque (the helper owns none of
+// them).
+func (w *worker) stealAll() (Task, bool) {
+	n := len(w.rt.stealSet)
+	if n == 0 {
+		return Task{}, false
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		if t, ok := w.rt.stealSet[(start+i)%n].Steal(); ok {
+			w.rt.steals.Add(1)
+			return *t, true
+		}
+	}
+	return Task{}, false
+}
+
+// Finish tracks the live-task count of one finish scope.
+type Finish struct {
+	rt     *Runtime
+	parent *Finish
+	count  atomic.Int64
+	onZero func()
+}
+
+// Inc registers one more pending task on the scope (exported for runtime
+// clients like the HCMPI communication worker).
+func (f *Finish) Inc() { f.inc() }
+
+// Dec marks one pending task complete.
+func (f *Finish) Dec() { f.dec() }
+
+func (f *Finish) inc() { f.count.Add(1) }
+
+func (f *Finish) dec() {
+	if f.count.Add(-1) == 0 {
+		if f.onZero != nil {
+			f.onZero()
+		}
+		// Joiners may be parked on the idle condition; rouse them so they
+		// re-check the count.
+		f.rt.Wake()
+	}
+}

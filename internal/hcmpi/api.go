@@ -1,0 +1,286 @@
+package hcmpi
+
+import (
+	"hcmpi/internal/hc"
+	"hcmpi/internal/mpi"
+)
+
+// Point-to-point and collective API (paper Table I). Every call here runs
+// in a computation task; the operation itself is carried out by the
+// communication worker. Blocking variants are built from the non-blocking
+// ones exactly as the paper prescribes: HCMPI_Wait is
+// finish { async await(req) }, and HCMPI_Recv is an HCMPI_Irecv inside a
+// finish.
+
+// Isend starts an asynchronous send (HCMPI_Isend). The buffer is handed
+// off immediately and may be reused by the caller.
+func (n *Node) Isend(buf []byte, dest, tag int) *Request {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindIsend
+	t.buf, t.peer, t.tag = buf, dest, tag
+	t.request = req
+	n.prescribe(t)
+	return req
+}
+
+// Irecv starts an asynchronous receive into buf (HCMPI_Irecv).
+func (n *Node) Irecv(buf []byte, src, tag int) *Request {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindIrecv
+	t.buf, t.peer, t.tag = buf, src, tag
+	t.request = req
+	n.prescribe(t)
+	return req
+}
+
+// IrecvBytes starts an asynchronous receive of a variable-size message;
+// the completion Status carries the payload.
+func (n *Node) IrecvBytes(src, tag int) *Request {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindIrecv
+	t.peer, t.tag = src, tag
+	t.takeAll = true
+	t.request = req
+	n.prescribe(t)
+	return req
+}
+
+// Wait blocks the computation task until the request completes
+// (HCMPI_Wait). It is implemented as finish { async await(req) }; the
+// worker executes other tasks while logically blocked.
+func (n *Node) Wait(ctx *hc.Ctx, r *Request) *Status {
+	ctx.Finish(func(ctx *hc.Ctx) {
+		ctx.AsyncAwait(func(*hc.Ctx) {}, r.ddf)
+	})
+	st, err := r.GetStatus()
+	if err != nil {
+		panic("hcmpi: Wait finished but status missing: " + err.Error())
+	}
+	return st
+}
+
+// WaitAll blocks until every request completes (HCMPI_Waitall): the
+// awaited DDF list is an AND expression.
+func (n *Node) WaitAll(ctx *hc.Ctx, rs ...*Request) []*Status {
+	ddfs := make([]*hc.DDF, len(rs))
+	for i, r := range rs {
+		ddfs[i] = r.ddf
+	}
+	ctx.Finish(func(ctx *hc.Ctx) {
+		ctx.AsyncAwait(func(*hc.Ctx) {}, ddfs...)
+	})
+	sts := make([]*Status, len(rs))
+	for i, r := range rs {
+		st, err := r.GetStatus()
+		if err != nil {
+			panic("hcmpi: WaitAll finished but status missing")
+		}
+		sts[i] = st
+	}
+	return sts
+}
+
+// WaitAny blocks until at least one request completes (HCMPI_Waitany):
+// the awaited DDF list is an OR expression. It returns the index of a
+// completed request and its status.
+func (n *Node) WaitAny(ctx *hc.Ctx, rs ...*Request) (int, *Status) {
+	if len(rs) == 0 {
+		return -1, nil
+	}
+	ddfs := make([]*hc.DDF, len(rs))
+	for i, r := range rs {
+		ddfs[i] = r.ddf
+	}
+	ctx.Finish(func(ctx *hc.Ctx) {
+		ctx.AsyncAwaitAny(func(*hc.Ctx) {}, ddfs...)
+	})
+	for i, r := range rs {
+		if st, ok := r.Test(); ok {
+			return i, st
+		}
+	}
+	panic("hcmpi: WaitAny released with no completed request")
+}
+
+// Send is the blocking send (HCMPI_Send): a non-blocking send inside a
+// finish scope.
+func (n *Node) Send(ctx *hc.Ctx, buf []byte, dest, tag int) *Status {
+	return n.Wait(ctx, n.Isend(buf, dest, tag))
+}
+
+// Recv is the blocking receive (HCMPI_Recv), per the paper's Fig. 3.
+func (n *Node) Recv(ctx *hc.Ctx, buf []byte, src, tag int) *Status {
+	return n.Wait(ctx, n.Irecv(buf, src, tag))
+}
+
+// RecvBytes is the blocking variable-size receive.
+func (n *Node) RecvBytes(ctx *hc.Ctx, src, tag int) ([]byte, *Status) {
+	st := n.Wait(ctx, n.IrecvBytes(src, tag))
+	return st.Payload, st
+}
+
+// RequestCreate builds a fresh, unbound request handle
+// (HCMPI_REQUEST_CREATE). Since HCMPI requests are DDFs, an unbound
+// request is a user-managed synchronization cell: complete it with
+// CompleteRequest and await it like any communication.
+func (n *Node) RequestCreate() *Request { return n.newRequest() }
+
+// CompleteRequest resolves a user-created request with st, releasing any
+// tasks awaiting it. Completing a runtime-owned request is an error.
+func (n *Node) CompleteRequest(ctx *hc.Ctx, r *Request, st *Status) error {
+	return r.ddf.TryPut(ctx, st)
+}
+
+// Cancel asks the communication worker to cancel an outstanding
+// operation (HCMPI_Cancel). Only posted-but-unmatched receives can be
+// cancelled; the call blocks the computation task until the attempt has
+// been made and reports whether it took effect. A cancelled operation's
+// request completes with a Cancelled status, so awaiting tasks still run.
+func (n *Node) Cancel(ctx *hc.Ctx, r *Request) bool {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindCancel
+	t.cancelTarget = r
+	t.request = req
+	n.prescribe(t)
+	st := n.Wait(ctx, req)
+	return st.Cancelled
+}
+
+// Test is HCMPI_Test.
+func (n *Node) Test(r *Request) (*Status, bool) { return r.Test() }
+
+// TestAll is HCMPI_Testall.
+func (n *Node) TestAll(rs ...*Request) ([]*Status, bool) {
+	sts := make([]*Status, len(rs))
+	for i, r := range rs {
+		st, ok := r.Test()
+		if !ok {
+			return nil, false
+		}
+		sts[i] = st
+	}
+	return sts, true
+}
+
+// TestAny is HCMPI_Testany.
+func (n *Node) TestAny(rs ...*Request) (int, *Status, bool) {
+	for i, r := range rs {
+		if st, ok := r.Test(); ok {
+			return i, st, true
+		}
+	}
+	return -1, nil, false
+}
+
+// Listen installs a persistent handler for a reserved (negative) tag; the
+// communication worker invokes fn for every arriving message. This is the
+// listener-task facility the runtime uses for DDDF homes and that the UTS
+// port uses to answer steal requests while computation workers are busy.
+func (n *Node) Listen(tag int, fn func(src int, payload []byte)) {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindListen
+	t.tag = tag
+	t.listenFn = fn
+	t.request = req
+	n.prescribe(t)
+	req.ddf.Await() // installation is synchronous and cheap
+}
+
+// SendReserved sends on a reserved tag through the communication worker;
+// protocol use only. It does not wait for delivery.
+func (n *Node) SendReserved(buf []byte, dest, tag int) *Request {
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindIsend
+	t.buf, t.peer, t.tag = buf, dest, tag
+	t.request = req
+	n.prescribe(t)
+	return req
+}
+
+// --- Collectives (blocking, per paper §II-C) ---
+
+// collective enqueues a collective comm task and blocks the computation
+// task (finish/await) until the communication worker has completed it.
+func (n *Node) collective(ctx *hc.Ctx, t *commTask) *Status {
+	req := n.newRequest()
+	t.request = req
+	n.prescribe(t)
+	if ctx != nil {
+		return n.Wait(ctx, req)
+	}
+	return req.ddf.Await().(*Status)
+}
+
+// Barrier blocks until every rank's computation reaches it
+// (HCMPI_Barrier).
+func (n *Node) Barrier(ctx *hc.Ctx) {
+	t := n.allocTask()
+	t.kind = kindBarrier
+	n.collective(ctx, t)
+}
+
+// Bcast broadcasts root's buf into every rank's buf (HCMPI_Bcast).
+func (n *Node) Bcast(ctx *hc.Ctx, buf []byte, root int) {
+	t := n.allocTask()
+	t.kind = kindBcast
+	t.buf, t.peer = buf, root
+	n.collective(ctx, t)
+}
+
+// Reduce folds data with op at root (HCMPI_Reduce); non-roots get nil.
+func (n *Node) Reduce(ctx *hc.Ctx, data []byte, dt mpi.Datatype, op mpi.Op, root int) []byte {
+	t := n.allocTask()
+	t.kind = kindReduce
+	t.buf, t.dt, t.op, t.peer = data, dt, op, root
+	st := n.collective(ctx, t)
+	if n.Rank() != root {
+		return nil
+	}
+	return st.Payload
+}
+
+// Allreduce folds data with op on every rank (HCMPI_Allreduce).
+func (n *Node) Allreduce(ctx *hc.Ctx, data []byte, dt mpi.Datatype, op mpi.Op) []byte {
+	t := n.allocTask()
+	t.kind = kindAllreduce
+	t.buf, t.dt, t.op = data, dt, op
+	return n.collective(ctx, t).Payload
+}
+
+// Scan computes the inclusive prefix fold (HCMPI_Scan).
+func (n *Node) Scan(ctx *hc.Ctx, data []byte, dt mpi.Datatype, op mpi.Op) []byte {
+	t := n.allocTask()
+	t.kind = kindScan
+	t.buf, t.dt, t.op = data, dt, op
+	return n.collective(ctx, t).Payload
+}
+
+// Gather collects each rank's data at root (HCMPI_Gather).
+func (n *Node) Gather(ctx *hc.Ctx, data []byte, root int) [][]byte {
+	t := n.allocTask()
+	t.kind = kindGather
+	t.buf, t.peer = data, root
+	return n.collective(ctx, t).Parts
+}
+
+// Allgather collects each rank's data everywhere (HCMPI_Allgather).
+func (n *Node) Allgather(ctx *hc.Ctx, data []byte) [][]byte {
+	t := n.allocTask()
+	t.kind = kindAllgather
+	t.buf = data
+	return n.collective(ctx, t).Parts
+}
+
+// Scatter distributes root's parts (HCMPI_Scatter).
+func (n *Node) Scatter(ctx *hc.Ctx, parts [][]byte, root int) []byte {
+	t := n.allocTask()
+	t.kind = kindScatter
+	t.parts, t.peer = parts, root
+	return n.collective(ctx, t).Payload
+}

@@ -1,0 +1,574 @@
+// Package hcmpi is the paper's primary contribution: the integration of
+// Habanero-C asynchronous task parallelism with MPI message passing.
+//
+// Each MPI rank runs one Node: a pool of computation workers (package hc)
+// plus one dedicated communication worker. Computation tasks never call
+// MPI; every HCMPI call creates a communication task that flows through
+// the lifecycle of the paper's Fig. 11 —
+//
+//	ALLOCATED → PRESCRIBED → ACTIVE → COMPLETED → AVAILABLE
+//
+// — on a lock-free multi-producer worklist consumed by the communication
+// worker, with completed task structures recycled through a lock-free
+// free-list. An HCMPI request handle is a DDF (paper §III), so message
+// completion composes with every Habanero synchronization construct:
+// finish, the await clause, and phasers.
+package hcmpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hcmpi/internal/deque"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/mpi"
+)
+
+// CommState is a communication task's lifecycle state (paper Fig. 11).
+type CommState int32
+
+const (
+	// StateAvailable marks a recycled task awaiting reuse.
+	StateAvailable CommState = iota
+	// StateAllocated marks a task being initialized by a computation
+	// worker.
+	StateAllocated
+	// StatePrescribed marks a fully described task visible to the
+	// communication worker.
+	StatePrescribed
+	// StateActive marks a task whose MPI operation has been issued and is
+	// being polled with MPI_Test.
+	StateActive
+	// StateCompleted marks a finished operation whose status has been
+	// published.
+	StateCompleted
+)
+
+func (s CommState) String() string {
+	switch s {
+	case StateAvailable:
+		return "AVAILABLE"
+	case StateAllocated:
+		return "ALLOCATED"
+	case StatePrescribed:
+		return "PRESCRIBED"
+	case StateActive:
+		return "ACTIVE"
+	case StateCompleted:
+		return "COMPLETED"
+	}
+	return fmt.Sprintf("CommState(%d)", int32(s))
+}
+
+type commKind int32
+
+const (
+	kindNone commKind = iota
+	kindIsend
+	kindIrecv
+	kindBarrier
+	kindBcast
+	kindReduce
+	kindAllreduce
+	kindScan
+	kindGather
+	kindScatter
+	kindAllgather
+	kindListen
+	kindShutdown
+	// kindCancel asks the communication worker to cancel an outstanding
+	// operation identified by its HCMPI request (HCMPI_Cancel).
+	kindCancel
+	// kindOneSided issues an RMA operation (request polled like p2p).
+	kindOneSided
+	// kindCustom runs an arbitrary blocking operation on the collective
+	// runner in dispatch order (window creation, fence).
+	kindCustom
+)
+
+// commTask is one unit of work for the communication worker.
+type commTask struct {
+	state atomic.Int32
+	kind  commKind
+
+	buf      []byte
+	peer     int // dest or src (or root for collectives)
+	tag      int
+	takeAll  bool
+	dt       mpi.Datatype
+	op       mpi.Op
+	parts    [][]byte // scatter input
+	listenFn func(src int, payload []byte)
+
+	req     *mpi.Request // underlying MPI request while ACTIVE
+	request *Request     // HCMPI-level handle to complete
+	// issue starts a one-sided operation (kindOneSided).
+	issue func() *mpi.Request
+	// custom runs a blocking operation on the collective runner
+	// (kindCustom) and produces the completion status.
+	custom func() *Status
+	// cancelTarget identifies the request a kindCancel task refers to.
+	cancelTarget *Request
+	// resultParts carries gather-style collective results.
+	resultParts [][]byte
+	resultBuf   []byte
+}
+
+func (t *commTask) setState(s CommState) { t.state.Store(int32(s)) }
+
+// State returns the task's current lifecycle state.
+func (t *commTask) State() CommState { return CommState(t.state.Load()) }
+
+func (t *commTask) reset() {
+	t.kind = kindNone
+	t.buf, t.parts, t.resultParts, t.resultBuf = nil, nil, nil, nil
+	t.peer, t.tag = 0, 0
+	t.takeAll = false
+	t.listenFn = nil
+	t.req, t.request = nil, nil
+	t.issue, t.custom = nil, nil
+	t.cancelTarget = nil
+}
+
+// Status is the HCMPI completion record (HCMPI_Status).
+type Status struct {
+	Source    int
+	Tag       int
+	Bytes     int
+	Cancelled bool
+	// Payload is set for operations that adopt variable-size data
+	// (RecvBytes-style receives and collective results).
+	Payload []byte
+	// Parts is set for gather-style collectives.
+	Parts [][]byte
+}
+
+// CountOf returns the received element count for a datatype
+// (HCMPI_Get_count).
+func (s *Status) CountOf(dt mpi.Datatype) int {
+	if dt.Size == 0 {
+		return 0
+	}
+	return s.Bytes / dt.Size
+}
+
+// Request is the HCMPI request handle. It is implemented as a DDF (paper
+// §III): the communication worker puts the Status into it on completion,
+// so requests can appear anywhere a DDF can — most importantly in await
+// clauses of data-driven tasks.
+type Request struct {
+	ddf *hc.DDF
+}
+
+// DDF exposes the underlying data-driven future, for use in await
+// clauses.
+func (r *Request) DDF() *hc.DDF { return r.ddf }
+
+// Test reports completion without blocking (HCMPI_Test).
+func (r *Request) Test() (*Status, bool) {
+	if !r.ddf.Full() {
+		return nil, false
+	}
+	return r.ddf.MustGet().(*Status), true
+}
+
+// GetStatus returns the completion status; it is a program error to call
+// it before the request completed (HCMPI_GET_STATUS is a DDF_GET).
+func (r *Request) GetStatus() (*Status, error) {
+	v, err := r.ddf.Get()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Status), nil
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Workers is the number of computation workers (the paper's -nproc).
+	Workers int
+	// PollSleep is how long the communication worker sleeps when it finds
+	// neither new communication tasks nor progress on active ones.
+	PollSleep time.Duration
+}
+
+// Node is one HCMPI process: computation workers + a dedicated
+// communication worker bound to one MPI rank.
+type Node struct {
+	comm *mpi.Comm
+	rt   *hc.Runtime
+	cfg  Config
+
+	worklist  *deque.MPSC[commTask]
+	freelist  *deque.Stack[commTask]
+	commDeque *deque.Deque[hc.Task] // continuations freed by the comm worker
+	// collQueue feeds collectives, in dispatch order, to a single helper
+	// goroutine, and collDone carries the finished operations back to the
+	// communication worker's loop. Collectives execute on the helper so
+	// the worker keeps servicing listeners and point-to-point progress
+	// meanwhile; the paper's runtime blocks here instead, which is
+	// faithful for MPI-2-era semantics but would deadlock the DDDF
+	// termination protocol in this substrate (see DESIGN.md §2).
+	collQueue chan *commTask
+	collDone  *deque.MPSC[collResult]
+
+	active    []*commTask
+	listeners []*listener
+
+	stop          atomic.Bool
+	stopped       chan struct{}
+	shutdown      chan struct{}
+	collsInFlight atomic.Int64
+
+	stats Stats
+}
+
+// collResult is a finished collective flowing back to the worker loop.
+type collResult struct {
+	t  *commTask
+	st *Status
+}
+
+// listener is a persistent receive the communication worker keeps posted
+// on behalf of the runtime (DDDF protocol) or application (UTS steal
+// handling).
+type listener struct {
+	tag  int
+	fn   func(src int, payload []byte)
+	req  *mpi.Request
+	halt bool
+}
+
+// Stats counts communication-worker activity.
+type Stats struct {
+	Sends       atomic.Int64
+	Recvs       atomic.Int64
+	Collectives atomic.Int64
+	Recycled    atomic.Int64
+	Allocated   atomic.Int64
+	Polls       atomic.Int64
+	Dispatched  atomic.Int64
+}
+
+// NewNode starts an HCMPI process over MPI rank c with cfg.Workers
+// computation workers and one communication worker.
+func NewNode(c *mpi.Comm, cfg Config) *Node {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.PollSleep == 0 {
+		cfg.PollSleep = 20 * time.Microsecond
+	}
+	n := &Node{
+		comm:      c,
+		cfg:       cfg,
+		worklist:  deque.NewMPSC[commTask](),
+		freelist:  deque.NewStack[commTask](),
+		commDeque: deque.NewDeque[hc.Task](),
+		collQueue: make(chan *commTask, 64),
+		collDone:  deque.NewMPSC[collResult](),
+		stopped:   make(chan struct{}),
+		shutdown:  make(chan struct{}),
+	}
+	n.rt = hc.New(cfg.Workers, n.commDeque)
+	go n.commWorker()
+	go n.collectiveRunner()
+	return n
+}
+
+// Rank returns this node's MPI rank.
+func (n *Node) Rank() int { return n.comm.Rank() }
+
+// Size returns the number of ranks in the job.
+func (n *Node) Size() int { return n.comm.Size() }
+
+// Workers returns the computation worker count.
+func (n *Node) Workers() int { return n.rt.NumWorkers() }
+
+// Runtime exposes the intra-node task runtime.
+func (n *Node) Runtime() *hc.Runtime { return n.rt }
+
+// Stats exposes communication-worker counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Main runs f as the node's root task and returns when f and everything
+// it spawned have completed (the program's implicit outer finish).
+func (n *Node) Main(f func(*hc.Ctx)) {
+	n.rt.Root(f)
+}
+
+// Close performs the global termination protocol: it waits for all ranks
+// to reach Close (so no rank shuts its listeners down while peers may
+// still send to them), then stops the communication worker and the
+// computation workers.
+func (n *Node) Close() {
+	// Synchronize all ranks through a comm-worker barrier.
+	req := n.newRequest()
+	t := n.allocTask()
+	t.kind = kindBarrier
+	t.request = req
+	n.prescribe(t)
+	req.ddf.Await()
+
+	n.stop.Store(true)
+	close(n.shutdown)
+	<-n.stopped
+	close(n.collQueue)
+	n.rt.Shutdown()
+}
+
+// ReleaseTask implements hc.Releaser: continuations freed by the
+// communication worker go to its own deque, to be stolen by computation
+// workers (paper §III).
+func (n *Node) ReleaseTask(t hc.Task) {
+	n.commDeque.Push(&t)
+	n.rt.Wake()
+}
+
+func (n *Node) newRequest() *Request { return &Request{ddf: hc.NewDDF()} }
+
+// allocTask takes a task from the AVAILABLE pool or allocates one
+// (ALLOCATED state).
+func (n *Node) allocTask() *commTask {
+	if t, ok := n.freelist.Pop(); ok {
+		n.stats.Recycled.Add(1)
+		t.setState(StateAllocated)
+		return t
+	}
+	n.stats.Allocated.Add(1)
+	t := &commTask{}
+	t.setState(StateAllocated)
+	return t
+}
+
+// prescribe publishes a fully initialized task to the communication
+// worker.
+func (n *Node) prescribe(t *commTask) {
+	t.setState(StatePrescribed)
+	n.worklist.Push(t)
+}
+
+// retire recycles a completed task structure.
+func (n *Node) retire(t *commTask) {
+	t.reset()
+	t.setState(StateAvailable)
+	n.freelist.Push(t)
+}
+
+// commWorker is the dedicated communication worker: it drains the
+// worklist, issues MPI operations, polls active requests with Test, and
+// publishes completions by putting HCMPI_Status objects into request
+// DDFs.
+func (n *Node) commWorker() {
+	defer close(n.stopped)
+	idle := 0
+	for {
+		progressed := false
+
+		// 1. Dispatch newly prescribed communication tasks.
+		for {
+			t, ok := n.worklist.Pop()
+			if !ok {
+				break
+			}
+			n.stats.Dispatched.Add(1)
+			n.dispatch(t)
+			progressed = true
+		}
+
+		// 2. Poll ACTIVE point-to-point operations (MPI_Test).
+		n.stats.Polls.Add(1)
+		live := n.active[:0]
+		for _, t := range n.active {
+			if st, ok := t.req.Test(); ok {
+				n.completeP2P(t, st)
+				progressed = true
+			} else {
+				live = append(live, t)
+			}
+		}
+		n.active = live
+
+		// 3. Poll listeners.
+		for _, l := range n.listeners {
+			if l.halt {
+				continue
+			}
+			if st, ok := l.req.Test(); ok {
+				payload := l.req.Payload()
+				src := st.Source
+				// Repost before invoking so back-to-back messages queue.
+				l.req = n.comm.IrecvReserved(mpi.AnySource, l.tag)
+				l.fn(src, payload)
+				progressed = true
+			}
+		}
+
+		// 4. Collect finished collectives from the helper goroutine.
+		for {
+			r, ok := n.collDone.Pop()
+			if !ok {
+				break
+			}
+			n.completeLocal(r.t, r.st)
+			n.collsInFlight.Add(-1)
+			progressed = true
+		}
+
+		if progressed {
+			idle = 0
+			continue
+		}
+		if n.stop.Load() && n.worklist.Empty() && len(n.active) == 0 && n.collsInFlight.Load() == 0 {
+			n.haltListeners()
+			return
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(n.cfg.PollSleep)
+		}
+	}
+}
+
+func (n *Node) haltListeners() {
+	for _, l := range n.listeners {
+		if !l.halt {
+			l.req.Cancel()
+			l.halt = true
+		}
+	}
+}
+
+// dispatch issues one prescribed task. Point-to-point operations become
+// ACTIVE and are polled; collectives block the communication worker until
+// done, exactly as the paper describes.
+func (n *Node) dispatch(t *commTask) {
+	switch t.kind {
+	case kindIsend:
+		n.stats.Sends.Add(1)
+		if t.tag < 0 {
+			t.req = n.comm.IsendReserved(t.buf, t.peer, t.tag)
+		} else {
+			t.req = n.comm.Isend(t.buf, t.peer, t.tag)
+		}
+		t.setState(StateActive)
+		n.active = append(n.active, t)
+	case kindIrecv:
+		n.stats.Recvs.Add(1)
+		switch {
+		case t.tag < 0 && t.tag != mpi.AnyTag:
+			t.req = n.comm.IrecvReserved(t.peer, t.tag)
+			t.takeAll = true
+		case t.takeAll:
+			t.req = n.comm.IrecvAdopt(t.peer, t.tag)
+		default:
+			t.req = n.comm.Irecv(t.buf, t.peer, t.tag)
+		}
+		t.setState(StateActive)
+		n.active = append(n.active, t)
+	case kindListen:
+		l := &listener{tag: t.tag, fn: t.listenFn}
+		l.req = n.comm.IrecvReserved(mpi.AnySource, t.tag)
+		n.listeners = append(n.listeners, l)
+		n.completeLocal(t, &Status{})
+	case kindOneSided:
+		n.stats.Sends.Add(1)
+		t.req = t.issue()
+		t.setState(StateActive)
+		n.active = append(n.active, t)
+	case kindBarrier, kindBcast, kindReduce, kindAllreduce, kindScan,
+		kindGather, kindAllgather, kindScatter, kindCustom:
+		n.stats.Collectives.Add(1)
+		t.setState(StateActive)
+		n.collsInFlight.Add(1)
+		n.collQueue <- t
+	case kindCancel:
+		// Find the ACTIVE operation carrying the target request and try
+		// to cancel the underlying MPI operation (only unmatched
+		// receives can be; eager sends are already in flight). The
+		// cancelled operation's own request completes via the normal
+		// polling path with Cancelled set.
+		target := t.cancelTarget
+		cancelled := false
+		for _, at := range n.active {
+			if at.request == target {
+				cancelled = at.req.Cancel()
+				break
+			}
+		}
+		n.completeLocal(t, &Status{Cancelled: cancelled})
+	case kindShutdown:
+		n.completeLocal(t, &Status{})
+	default:
+		panic(fmt.Sprintf("hcmpi: dispatch of %v task", t.kind))
+	}
+}
+
+// collectiveRunner is the communication worker's helper goroutine: it
+// executes collectives strictly in dispatch order (so every rank issues
+// them in the same sequence, preserving MPI's collective matching
+// discipline) while the worker loop keeps servicing listeners and
+// point-to-point progress. The results flow back to the worker loop,
+// which publishes them (deque pushes stay on the worker goroutine).
+func (n *Node) collectiveRunner() {
+	for t := range n.collQueue {
+		n.runCollective(t)
+	}
+}
+
+func (n *Node) runCollective(t *commTask) {
+	var st *Status
+	switch t.kind {
+	case kindBarrier:
+		n.comm.Barrier()
+		st = &Status{}
+	case kindBcast:
+		n.comm.Bcast(t.buf, t.peer)
+		st = &Status{Bytes: len(t.buf), Payload: t.buf}
+	case kindReduce:
+		res := n.comm.Reduce(t.buf, t.dt, t.op, t.peer)
+		st = &Status{Bytes: len(res), Payload: res}
+	case kindAllreduce:
+		res := n.comm.Allreduce(t.buf, t.dt, t.op)
+		st = &Status{Bytes: len(res), Payload: res}
+	case kindScan:
+		res := n.comm.Scan(t.buf, t.dt, t.op)
+		st = &Status{Bytes: len(res), Payload: res}
+	case kindGather:
+		st = &Status{Parts: n.comm.Gather(t.buf, t.peer)}
+	case kindAllgather:
+		st = &Status{Parts: n.comm.Allgather(t.buf)}
+	case kindScatter:
+		res := n.comm.Scatter(t.parts, t.peer)
+		st = &Status{Bytes: len(res), Payload: res}
+	case kindCustom:
+		st = t.custom()
+	}
+	n.collDone.Push(&collResult{t: t, st: st})
+}
+
+// completeP2P publishes a point-to-point (or one-sided) completion.
+func (n *Node) completeP2P(t *commTask, st *mpi.Status) {
+	hst := &Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes, Cancelled: st.Cancelled}
+	if t.takeAll || t.req.Payload() != nil {
+		hst.Payload = t.req.Payload()
+	}
+	n.completeLocal(t, hst)
+}
+
+// completeLocal moves a task to COMPLETED, puts its status into the
+// request DDF (releasing awaiting DDTs onto the comm worker's deque), and
+// recycles the structure to AVAILABLE.
+func (n *Node) completeLocal(t *commTask, st *Status) {
+	t.setState(StateCompleted)
+	req := t.request
+	n.retire(t)
+	if req != nil {
+		if err := req.ddf.PutVia(n, st); err != nil {
+			panic("hcmpi: request completed twice: " + err.Error())
+		}
+	}
+}

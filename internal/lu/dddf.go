@@ -1,0 +1,146 @@
+package lu
+
+import (
+	"hcmpi/internal/dddf"
+	"hcmpi/internal/hc"
+)
+
+// Distributed tiled LU over DDDFs. Cross-tile dependences are published
+// as distributed data-driven futures:
+//
+//	kind 0: D_k      — the factored diagonal tile of step k
+//	kind 1: U_{k,j}  — the row-panel tile after its lower triangular solve
+//	kind 2: L_{i,k}  — the column-panel tile after its upper solve
+//	kind 3: final    — tile (i,j)'s factored value (for verification)
+//
+// Each tile's own update chain (the gemm accumulations for k < min(i,j))
+// stays in owner-local shared-memory DDFs, applied strictly in k order so
+// the floating-point result is bit-identical to SeqFactor.
+
+const (
+	kindDiag = iota
+	kindU
+	kindL
+	kindFinal
+	kinds
+)
+
+// Guid maps a tile-kind pair to its DDDF id.
+func Guid(cfg Config, i, j, kind int) int64 {
+	return int64((i*cfg.Tiles()+j)*kinds + kind)
+}
+
+// HomeFunc places each guid on its producer's rank.
+func HomeFunc(cfg Config, ranks int, dist func(i, j, nt, ranks int) int) dddf.HomeFunc {
+	nt := cfg.Tiles()
+	return func(guid int64) int {
+		tile := int(guid) / kinds
+		return dist(tile/nt, tile%nt, nt, ranks)
+	}
+}
+
+// RunDDDF factors cfg's matrix across the space's ranks and returns the
+// full factored tile grid (every rank awaits all final tiles — intended
+// for verification-scale problems). Call from the node's main task.
+func RunDDDF(space *dddf.Space, ctx *hc.Ctx, cfg Config, dist func(i, j, nt, ranks int) int) [][]Block {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	node := space.Node()
+	nt, t := cfg.Tiles(), cfg.Tile
+	me, ranks := node.Rank(), node.Size()
+	a := cfg.Matrix()
+
+	initial := func(i, j int) Block {
+		blk := make(Block, t*t)
+		for r := 0; r < t; r++ {
+			copy(blk[r*t:(r+1)*t], a[i*t+r][j*t:(j+1)*t])
+		}
+		return blk
+	}
+
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for i := 0; i < nt; i++ {
+			for j := 0; j < nt; j++ {
+				if dist(i, j, nt, ranks) != me {
+					continue
+				}
+				i, j := i, j
+				m := min(i, j)
+				// Local version chain: ver[k] holds the tile after k
+				// gemm updates.
+				ver := make([]*hc.DDF, m+1)
+				for k := range ver {
+					ver[k] = hc.NewDDF()
+				}
+				ver[0].Put(ctx, initial(i, j))
+
+				for k := 0; k < m; k++ {
+					k := k
+					hL := space.Handle(Guid(cfg, i, k, kindL))
+					hU := space.Handle(Guid(cfg, k, j, kindU))
+					// AND await over the local chain version and the two
+					// (possibly remote) panel tiles.
+					space.AsyncAwaitPlus(ctx, func(ctx *hc.Ctx) {
+						acc := append(Block(nil), ver[k].MustGet().(Block)...)
+						gemm(DecodeBlock(hL.MustGet()), DecodeBlock(hU.MustGet()), acc, t)
+						ver[k+1].Put(ctx, acc)
+					}, []*hc.DDF{ver[k]}, hL, hU)
+				}
+
+				// Final step at k = m.
+				switch {
+				case i == j:
+					ctx.AsyncAwait(func(ctx *hc.Ctx) {
+						acc := append(Block(nil), ver[m].MustGet().(Block)...)
+						getrf(acc, t)
+						space.Handle(Guid(cfg, i, i, kindDiag)).Put(ctx, EncodeBlock(acc))
+						space.Handle(Guid(cfg, i, i, kindFinal)).Put(ctx, EncodeBlock(acc))
+					}, ver[m])
+				case i < j: // row panel: needs D_i
+					hD := space.Handle(Guid(cfg, i, i, kindDiag))
+					space.AsyncAwaitPlus(ctx, func(ctx *hc.Ctx) {
+						acc := append(Block(nil), ver[m].MustGet().(Block)...)
+						trsmLower(DecodeBlock(hD.MustGet()), acc, t)
+						space.Handle(Guid(cfg, i, j, kindU)).Put(ctx, EncodeBlock(acc))
+						space.Handle(Guid(cfg, i, j, kindFinal)).Put(ctx, EncodeBlock(acc))
+					}, []*hc.DDF{ver[m]}, hD)
+				default: // column panel: needs D_j
+					hD := space.Handle(Guid(cfg, j, j, kindDiag))
+					space.AsyncAwaitPlus(ctx, func(ctx *hc.Ctx) {
+						acc := append(Block(nil), ver[m].MustGet().(Block)...)
+						trsmUpper(DecodeBlock(hD.MustGet()), acc, t)
+						space.Handle(Guid(cfg, i, j, kindL)).Put(ctx, EncodeBlock(acc))
+						space.Handle(Guid(cfg, i, j, kindFinal)).Put(ctx, EncodeBlock(acc))
+					}, []*hc.DDF{ver[m]}, hD)
+				}
+			}
+		}
+	})
+
+	// Verification: every rank awaits every final tile.
+	out := make([][]Block, nt)
+	for i := range out {
+		out[i] = make([]Block, nt)
+	}
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for i := 0; i < nt; i++ {
+			for j := 0; j < nt; j++ {
+				i, j := i, j
+				h := space.Handle(Guid(cfg, i, j, kindFinal))
+				space.AsyncAwait(ctx, func(*hc.Ctx) {
+					out[i][j] = DecodeBlock(h.MustGet())
+				}, h)
+			}
+		}
+	})
+	node.Barrier(ctx)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+// Package lu implements tiled LU factorization (without pivoting) as a
+// second distributed dataflow application on DDDFs, alongside
+// Smith-Waterman. Where SW is a two-dimensional wavefront, LU's task
+// graph is the denser triangular-solve/update DAG that dataflow runtimes
+// of the paper's era (StarPU, PaRSEC/DAGuE — the lineage §V situates
+// HCMPI against) used as their flagship: tile (i,j) at step k depends on
+// the factored diagonal tile, the panel tiles, and its own previous
+// update. Every inter-tile dependence is a DDDF put/await; tiles are
+// distributed 2D-cyclically, and no rank ever addresses another
+// explicitly.
+package lu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes a tiled factorization problem.
+type Config struct {
+	N    int   // matrix dimension
+	Tile int   // tile size (must divide N)
+	Seed int64 // deterministic matrix generator
+}
+
+// Tiles returns the tile-grid dimension.
+func (c Config) Tiles() int { return c.N / c.Tile }
+
+// Validate checks the tiling.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.Tile <= 0 || c.N%c.Tile != 0 {
+		return fmt.Errorf("lu: tile %d must divide N %d", c.Tile, c.N)
+	}
+	return nil
+}
+
+// Matrix generates the synthetic input: random entries with a dominant
+// diagonal so that factorization without pivoting is stable.
+func (c Config) Matrix() [][]float64 {
+	rng := rand.New(rand.NewSource(c.Seed))
+	a := make([][]float64, c.N)
+	for i := range a {
+		a[i] = make([]float64, c.N)
+		for j := range a[i] {
+			a[i][j] = rng.Float64() - 0.5
+		}
+		a[i][i] += float64(c.N)
+	}
+	return a
+}
+
+// --- tile kernels (dense, row-major square blocks) ---
+
+// Block is one tile's payload.
+type Block []float64
+
+// getrf factors a diagonal tile in place: A = L·U with unit-diagonal L
+// stored below, U on and above.
+func getrf(a Block, t int) {
+	for k := 0; k < t; k++ {
+		piv := a[k*t+k]
+		for i := k + 1; i < t; i++ {
+			a[i*t+k] /= piv
+			lik := a[i*t+k]
+			for j := k + 1; j < t; j++ {
+				a[i*t+j] -= lik * a[k*t+j]
+			}
+		}
+	}
+}
+
+// trsmLower solves L·X = B for X (L unit-lower from a factored diagonal
+// tile), overwriting b — used for tiles right of the diagonal.
+func trsmLower(l Block, b Block, t int) {
+	for k := 0; k < t; k++ {
+		for i := k + 1; i < t; i++ {
+			lik := l[i*t+k]
+			for j := 0; j < t; j++ {
+				b[i*t+j] -= lik * b[k*t+j]
+			}
+		}
+	}
+}
+
+// trsmUpper solves X·U = B for X (U upper from a factored diagonal
+// tile), overwriting b — used for tiles below the diagonal.
+func trsmUpper(u Block, b Block, t int) {
+	for k := 0; k < t; k++ {
+		ukk := u[k*t+k]
+		for i := 0; i < t; i++ {
+			b[i*t+k] /= ukk
+			bik := b[i*t+k]
+			for j := k + 1; j < t; j++ {
+				b[i*t+j] -= bik * u[k*t+j]
+			}
+		}
+	}
+}
+
+// gemm computes c -= a·b.
+func gemm(a, b, c Block, t int) {
+	for i := 0; i < t; i++ {
+		for k := 0; k < t; k++ {
+			aik := a[i*t+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < t; j++ {
+				c[i*t+j] -= aik * b[k*t+j]
+			}
+		}
+	}
+}
+
+// SeqFactor computes the tiled factorization sequentially and returns the
+// tile grid — the ground truth for the distributed version.
+func SeqFactor(cfg Config) [][]Block {
+	a := cfg.Matrix()
+	nt := cfg.Tiles()
+	t := cfg.Tile
+	tiles := make([][]Block, nt)
+	for i := range tiles {
+		tiles[i] = make([]Block, nt)
+		for j := range tiles[i] {
+			blk := make(Block, t*t)
+			for r := 0; r < t; r++ {
+				copy(blk[r*t:(r+1)*t], a[i*t+r][j*t:(j+1)*t])
+			}
+			tiles[i][j] = blk
+		}
+	}
+	for k := 0; k < nt; k++ {
+		getrf(tiles[k][k], t)
+		for j := k + 1; j < nt; j++ {
+			trsmLower(tiles[k][k], tiles[k][j], t)
+		}
+		for i := k + 1; i < nt; i++ {
+			trsmUpper(tiles[k][k], tiles[i][k], t)
+		}
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j < nt; j++ {
+				gemm(tiles[i][k], tiles[k][j], tiles[i][j], t)
+			}
+		}
+	}
+	return tiles
+}
+
+// Checksum folds a tile grid into one number for cross-implementation
+// comparison.
+func Checksum(tiles [][]Block) float64 {
+	var s float64
+	for i := range tiles {
+		for j := range tiles[i] {
+			for _, v := range tiles[i][j] {
+				s += v * float64(1+(i+j)%7)
+			}
+		}
+	}
+	return s
+}
+
+// MaxAbsDiff compares two grids.
+func MaxAbsDiff(a, b [][]Block) float64 {
+	var m float64
+	for i := range a {
+		for j := range a[i] {
+			for k := range a[i][j] {
+				if d := math.Abs(a[i][j][k] - b[i][j][k]); d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// EncodeBlock serializes a tile.
+func EncodeBlock(b Block) []byte {
+	out := make([]byte, 8*len(b))
+	for i, v := range b {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeBlock deserializes a tile.
+func DecodeBlock(data []byte) Block {
+	b := make(Block, len(data)/8)
+	for i := range b {
+		b[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return b
+}
+
+// Cyclic2D is the standard 2D block-cyclic tile distribution.
+func Cyclic2D(i, j, nt, ranks int) int {
+	// Arrange ranks in a near-square process grid.
+	pr := 1
+	for pr*pr < ranks {
+		pr++
+	}
+	for ranks%pr != 0 {
+		pr--
+	}
+	pc := ranks / pr
+	return (i%pr)*pc + (j % pc)
+}

@@ -1,0 +1,157 @@
+package lu
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hcmpi/internal/dddf"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+)
+
+// refLU is an untiled textbook LU (no pivoting) for cross-checking the
+// tile kernels.
+func refLU(a [][]float64) [][]float64 {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			m[i][k] /= m[k][k]
+			for j := k + 1; j < n; j++ {
+				m[i][j] -= m[i][k] * m[k][j]
+			}
+		}
+	}
+	return m
+}
+
+func gridToDense(tiles [][]Block, t int) [][]float64 {
+	nt := len(tiles)
+	n := nt * t
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for bi := 0; bi < nt; bi++ {
+		for bj := 0; bj < nt; bj++ {
+			for r := 0; r < t; r++ {
+				copy(out[bi*t+r][bj*t:(bj+1)*t], tiles[bi][bj][r*t:(r+1)*t])
+			}
+		}
+	}
+	return out
+}
+
+func TestSeqFactorMatchesReference(t *testing.T) {
+	cfg := Config{N: 24, Tile: 6, Seed: 5}
+	tiles := SeqFactor(cfg)
+	dense := gridToDense(tiles, cfg.Tile)
+	want := refLU(cfg.Matrix())
+	for i := range want {
+		for j := range want[i] {
+			if d := math.Abs(dense[i][j] - want[i][j]); d > 1e-9 {
+				t.Fatalf("(%d,%d): tiled %g vs ref %g (diff %g)", i, j, dense[i][j], want[i][j], d)
+			}
+		}
+	}
+}
+
+func TestTilingInvarianceLU(t *testing.T) {
+	base := Config{N: 24, Tile: 24, Seed: 11} // single tile == untiled
+	want := gridToDense(SeqFactor(base), 24)
+	for _, tile := range []int{2, 3, 4, 6, 8, 12} {
+		cfg := Config{N: 24, Tile: tile, Seed: 11}
+		got := gridToDense(SeqFactor(cfg), tile)
+		for i := range want {
+			for j := range want[i] {
+				if d := math.Abs(got[i][j] - want[i][j]); d > 1e-9 {
+					t.Fatalf("tile=%d (%d,%d): %g vs %g", tile, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{N: 10, Tile: 3}).Validate() == nil {
+		t.Fatal("non-dividing tile accepted")
+	}
+	if (Config{N: 12, Tile: 3}).Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	b := Block{1.5, -2.25, 0, 1e-300}
+	got := DecodeBlock(EncodeBlock(b))
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("codec: %v vs %v", got, b)
+		}
+	}
+}
+
+func TestCyclic2DCoversRanks(t *testing.T) {
+	const nt, ranks = 8, 6
+	seen := map[int]bool{}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			r := Cyclic2D(i, j, nt, ranks)
+			if r < 0 || r >= ranks {
+				t.Fatalf("rank %d out of range", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != ranks {
+		t.Fatalf("only %d/%d ranks used", len(seen), ranks)
+	}
+}
+
+func runLU(t *testing.T, ranks, workers int, cfg Config) [][][]Block {
+	t.Helper()
+	out := make([][][]Block, ranks)
+	var mu sync.Mutex
+	w := mpi.NewWorld(ranks)
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers})
+		s := dddf.NewSpace(n, HomeFunc(cfg, ranks, Cyclic2D), nil)
+		n.Main(func(ctx *hc.Ctx) {
+			grid := RunDDDF(s, ctx, cfg, Cyclic2D)
+			mu.Lock()
+			out[c.Rank()] = grid
+			mu.Unlock()
+		})
+		n.Close()
+	})
+	return out
+}
+
+func TestRunDDDFMatchesSequentialLU(t *testing.T) {
+	cfg := Config{N: 24, Tile: 4, Seed: 21}
+	want := SeqFactor(cfg)
+	for _, tc := range []struct{ ranks, workers int }{{1, 2}, {2, 2}, {3, 2}, {4, 1}} {
+		grids := runLU(t, tc.ranks, tc.workers, cfg)
+		for r, grid := range grids {
+			if d := MaxAbsDiff(grid, want); d != 0 {
+				t.Fatalf("ranks=%d workers=%d rank %d: max diff %g (must be bit-identical)", tc.ranks, tc.workers, r, d)
+			}
+		}
+	}
+}
+
+func TestRunDDDFLargerProblem(t *testing.T) {
+	cfg := Config{N: 48, Tile: 8, Seed: 3}
+	want := Checksum(SeqFactor(cfg))
+	grids := runLU(t, 3, 2, cfg)
+	for r, grid := range grids {
+		if got := Checksum(grid); got != want {
+			t.Fatalf("rank %d checksum %g want %g", r, got, want)
+		}
+	}
+}

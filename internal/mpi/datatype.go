@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype describes a fixed-size element type for typed operations
+// (reductions, Get_count). Payloads on the wire are plain byte slices;
+// datatypes give them meaning at the edges.
+type Datatype struct {
+	Name string
+	Size int
+}
+
+// Built-in datatypes.
+var (
+	Byte    = Datatype{Name: "byte", Size: 1}
+	Int32   = Datatype{Name: "int32", Size: 4}
+	Int64   = Datatype{Name: "int64", Size: 8}
+	Float64 = Datatype{Name: "float64", Size: 8}
+)
+
+// Op is a reduction operator: Combine folds src into dst element-wise
+// (dst = dst ⊕ src) under the given datatype.
+type Op struct {
+	Name string
+	i64  func(a, b int64) int64
+	f64  func(a, b float64) float64
+}
+
+// Built-in reduction operators.
+var (
+	OpSum = Op{Name: "sum",
+		i64: func(a, b int64) int64 { return a + b },
+		f64: func(a, b float64) float64 { return a + b }}
+	OpProd = Op{Name: "prod",
+		i64: func(a, b int64) int64 { return a * b },
+		f64: func(a, b float64) float64 { return a * b }}
+	OpMax = Op{Name: "max", i64: maxI64, f64: math.Max}
+	OpMin = Op{Name: "min", i64: minI64, f64: math.Min}
+)
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Combine applies the operator element-wise: dst = dst ⊕ src.
+func (o Op) Combine(dt Datatype, dst, src []byte) {
+	switch dt {
+	case Int64:
+		for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(o.i64(a, b)))
+		}
+	case Int32:
+		for i := 0; i+4 <= len(dst) && i+4 <= len(src); i += 4 {
+			a := int64(int32(binary.LittleEndian.Uint32(dst[i:])))
+			b := int64(int32(binary.LittleEndian.Uint32(src[i:])))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(int32(o.i64(a, b))))
+		}
+	case Float64:
+		for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(o.f64(a, b)))
+		}
+	case Byte:
+		for i := 0; i < len(dst) && i < len(src); i++ {
+			dst[i] = byte(o.i64(int64(dst[i]), int64(src[i])))
+		}
+	default:
+		panic(fmt.Sprintf("mpi: op %s on unsupported datatype %s", o.Name, dt.Name))
+	}
+}
+
+// EncodeInt64s packs xs into a fresh little-endian byte slice.
+func EncodeInt64s(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// DecodeInt64s unpacks a little-endian byte slice.
+func DecodeInt64s(b []byte) []int64 {
+	xs := make([]int64, len(b)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// EncodeInt64 packs one int64.
+func EncodeInt64(x int64) []byte { return EncodeInt64s([]int64{x}) }
+
+// DecodeInt64 unpacks one int64.
+func DecodeInt64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// EncodeFloat64s packs xs into a fresh little-endian byte slice.
+func EncodeFloat64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// DecodeFloat64s unpacks a little-endian byte slice.
+func DecodeFloat64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// CountOf returns the element count for a datatype, MPI_Get_count-style.
+func (s *Status) CountOf(dt Datatype) int {
+	if dt.Size == 0 {
+		return 0
+	}
+	return s.Bytes / dt.Size
+}

@@ -1,0 +1,231 @@
+// Package mpi is a from-scratch message-passing substrate with the
+// semantics HCMPI needs from an MPI library: ranks, communicators, tags
+// with wildcards, non-overtaking point-to-point matching with posted and
+// unexpected queues, non-blocking requests with Test/Wait/Cancel, blocking
+// collectives, and the MPI threading modes.
+//
+// Go has no mature MPI bindings, so "processes" are goroutine groups
+// inside one OS process and the interconnect is the pipe model in
+// package netsim (see DESIGN.md §2 for why this substitution preserves
+// the behaviours the paper's evaluation depends on). The thread-multiple
+// mode serializes every call on a real per-rank mutex — the same mechanism
+// the paper identifies as the cost of MPI_THREAD_MULTIPLE.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hcmpi/internal/netsim"
+)
+
+// ThreadMode mirrors MPI's thread support levels.
+type ThreadMode int
+
+const (
+	// ThreadSingle: only one thread per rank makes MPI calls; no entry
+	// lock is taken. This is the mode HCMPI runs in, because all calls
+	// are funneled through the dedicated communication worker.
+	ThreadSingle ThreadMode = iota
+	// ThreadMultiple: any thread may call; every call serializes on the
+	// rank's library lock and pays a per-call critical-section cost.
+	ThreadMultiple
+)
+
+// Wildcards for Recv/Irecv/Probe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// maxUserTag bounds application tags; larger tags are reserved for
+// collectives and runtime protocols.
+const maxUserTag = 1 << 24
+
+// Options configure a World.
+type Options struct {
+	// Net selects the interconnect model. Default: netsim.Loopback.
+	Net netsim.Params
+	// RanksPerNode places consecutive ranks on the same node, modelling
+	// "MPI everywhere" runs with several ranks per physical node.
+	// Default 1 (every rank its own node).
+	RanksPerNode int
+	// ThreadMode is the requested thread support level.
+	ThreadMode ThreadMode
+	// ThreadOverhead is the extra critical-section time per call in
+	// ThreadMultiple mode, modelling the library's internal locking work.
+	ThreadOverhead time.Duration
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithNetwork selects the interconnect parameters.
+func WithNetwork(p netsim.Params) Option { return func(o *Options) { o.Net = p } }
+
+// WithRanksPerNode places k consecutive ranks per node.
+func WithRanksPerNode(k int) Option { return func(o *Options) { o.RanksPerNode = k } }
+
+// WithThreadMode selects the threading mode.
+func WithThreadMode(m ThreadMode) Option { return func(o *Options) { o.ThreadMode = m } }
+
+// WithThreadOverhead sets the modelled per-call lock-held overhead for
+// ThreadMultiple mode.
+func WithThreadOverhead(d time.Duration) Option { return func(o *Options) { o.ThreadOverhead = d } }
+
+// World is a simulated MPI job: n ranks plus the network joining them.
+type World struct {
+	n     int
+	net   *netsim.Network
+	comms []*Comm
+	opts  Options
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int, opts ...Option) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", n))
+	}
+	o := Options{RanksPerNode: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.RanksPerNode <= 0 {
+		o.RanksPerNode = 1
+	}
+	w := &World{n: n, opts: o}
+	w.net = netsim.New(n, func(r int) int { return r / o.RanksPerNode }, o.Net)
+	w.comms = make([]*Comm, n)
+	for r := 0; r < n; r++ {
+		w.comms[r] = newComm(w, r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Net exposes the underlying network (for stats).
+func (w *World) Net() *netsim.Network { return w.net }
+
+// Comm returns rank r's communicator handle without running anything;
+// useful for runtimes that manage their own goroutines.
+func (w *World) Comm(r int) *Comm { return w.comms[r] }
+
+// Run executes body once per rank, each in its own goroutine (the SPMD
+// model), waits for all of them, then shuts the network down.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			body(c)
+		}(w.comms[r])
+	}
+	wg.Wait()
+	w.net.Close()
+}
+
+// Close shuts down the network; use after manual Comm() driving.
+func (w *World) Close() { w.net.Close() }
+
+// Comm is one rank's endpoint on the communicator. A Comm belongs
+// either to an in-process World (goroutine ranks over the modelled
+// interconnect) or to a distributed TCP mesh (see Distributed); all
+// higher layers are transport-agnostic.
+type Comm struct {
+	world *World // nil for distributed comms
+	rank  int
+	size  int
+	node  int
+	// sendFn hands a copied payload to the transport; onDelivered fires
+	// when the message has reached the destination endpoint (for the TCP
+	// transport: when it has been handed to the OS, the closest
+	// observable analogue of MPI's eager-send completion).
+	sendFn func(dest, tag int, payload []byte, onDelivered func())
+
+	threadMode     ThreadMode
+	threadOverhead time.Duration
+
+	// matching state, guarded by mu.
+	mu         sync.Mutex
+	arrived    *sync.Cond // broadcast on every delivery, for Probe
+	posted     []*Request // pending receive requests, post order
+	unexpected []inMsg    // unmatched arrived messages, arrival order
+
+	// collSeq numbers collective operations so that successive
+	// collectives never cross-match; all ranks call collectives in the
+	// same order, so the counters agree.
+	collSeq int
+
+	// callMu is the MPI library entry lock, taken per call in
+	// ThreadMultiple mode.
+	callMu sync.Mutex
+
+	// RMA window registry (guarded by mu).
+	wins    map[int]*Win
+	nextWin int
+}
+
+type inMsg struct {
+	src, tag int
+	payload  []byte
+}
+
+func newComm(w *World, rank int) *Comm {
+	c := &Comm{world: w, rank: rank, size: w.n, node: w.net.NodeOf(rank),
+		threadMode: w.opts.ThreadMode, threadOverhead: w.opts.ThreadOverhead}
+	c.arrived = sync.NewCond(&c.mu)
+	c.sendFn = func(dest, tag int, payload []byte, onDelivered func()) {
+		dc := w.comms[dest]
+		src := c.rank
+		w.net.Send(src, dest, len(payload), func() {
+			dc.deliver(inMsg{src: src, tag: tag, payload: payload})
+			if onDelivered != nil {
+				onDelivered()
+			}
+		})
+	}
+	return c
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.size }
+
+// Node returns the node id hosting this rank.
+func (c *Comm) Node() int { return c.node }
+
+// enter models the MPI library entry for the configured thread mode; it
+// returns a function that exits the library.
+func (c *Comm) enter() func() {
+	if c.threadMode != ThreadMultiple {
+		return func() {}
+	}
+	c.callMu.Lock()
+	if oh := c.threadOverhead; oh > 0 {
+		// Hold the lock for the modelled critical-section time; this is
+		// what makes concurrent callers queue up, exactly the effect the
+		// paper's message-rate test exposes.
+		deadline := time.Now().Add(oh)
+		for time.Now().Before(deadline) {
+		}
+	}
+	return c.callMu.Unlock
+}
+
+func checkUserTag(tag int) {
+	if tag < 0 || tag >= maxUserTag {
+		panic(fmt.Sprintf("mpi: user tag %d out of range [0,%d)", tag, maxUserTag))
+	}
+}
+
+func checkRank(r, size int) {
+	if r < 0 || r >= size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, size))
+	}
+}

@@ -1,0 +1,346 @@
+package mpi
+
+import (
+	"sync"
+)
+
+// Status describes a completed (or cancelled) operation, mirroring
+// MPI_Status.
+type Status struct {
+	Source    int
+	Tag       int
+	Bytes     int  // bytes received (after any truncation)
+	Truncated bool // the receive buffer was smaller than the message
+	Cancelled bool
+}
+
+// reqKind distinguishes request flavours.
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a non-blocking operation handle, mirroring MPI_Request.
+type Request struct {
+	kind reqKind
+	comm *Comm
+
+	mu        sync.Mutex
+	done      chan struct{}
+	completed bool
+	status    Status
+
+	// recv-side matching criteria and destination buffer.
+	src, tag int
+	buf      []byte
+	// takeAll, when set, makes the receive adopt the full payload slice
+	// (used by RecvBytes for variable-size messages).
+	takeAll bool
+	payload []byte
+}
+
+func newRequest(c *Comm, kind reqKind) *Request {
+	return &Request{kind: kind, comm: c, done: make(chan struct{})}
+}
+
+func (r *Request) complete(st Status) {
+	r.mu.Lock()
+	if r.completed {
+		r.mu.Unlock()
+		return
+	}
+	r.completed = true
+	r.status = st
+	close(r.done)
+	r.mu.Unlock()
+}
+
+// Done exposes the completion channel so runtimes (HCMPI's communication
+// worker) can select over it.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() (*Status, bool) {
+	select {
+	case <-r.done:
+		st := r.status
+		return &st, true
+	default:
+		return nil, false
+	}
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() *Status {
+	<-r.done
+	st := r.status
+	return &st
+}
+
+// Payload returns the adopted payload of a RecvBytes-style request.
+func (r *Request) Payload() []byte { return r.payload }
+
+// Cancel attempts to cancel the operation. Only posted-but-unmatched
+// receives can be cancelled; eager sends are already complete or in
+// flight. It reports whether the cancellation took effect.
+func (r *Request) Cancel() bool {
+	if r.kind != reqRecv {
+		return false
+	}
+	c := r.comm
+	c.mu.Lock()
+	for i, pr := range c.posted {
+		if pr == r {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			c.mu.Unlock()
+			r.complete(Status{Source: r.src, Tag: r.tag, Cancelled: true})
+			return true
+		}
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(reqs ...*Request) []*Status {
+	sts := make([]*Status, len(reqs))
+	for i, r := range reqs {
+		sts[i] = r.Wait()
+	}
+	return sts
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index and status. With several already complete, the lowest index wins.
+func WaitAny(reqs ...*Request) (int, *Status) {
+	if len(reqs) == 0 {
+		return -1, nil
+	}
+	for i, r := range reqs {
+		if st, ok := r.Test(); ok {
+			return i, st
+		}
+	}
+	// Nothing ready: park on a fan-in of the completion channels.
+	ch := make(chan int, len(reqs))
+	for i, r := range reqs {
+		go func(i int, r *Request) {
+			<-r.done
+			ch <- i
+		}(i, r)
+	}
+	i := <-ch
+	return i, reqs[i].Wait()
+}
+
+// TestAll reports whether all requests have completed.
+func TestAll(reqs ...*Request) ([]*Status, bool) {
+	sts := make([]*Status, len(reqs))
+	for i, r := range reqs {
+		st, ok := r.Test()
+		if !ok {
+			return nil, false
+		}
+		sts[i] = st
+	}
+	return sts, true
+}
+
+// TestAny reports the first completed request, if any.
+func TestAny(reqs ...*Request) (int, *Status, bool) {
+	for i, r := range reqs {
+		if st, ok := r.Test(); ok {
+			return i, st, true
+		}
+	}
+	return -1, nil, false
+}
+
+// Isend starts a non-blocking send of buf to dest with the given tag. The
+// buffer is copied eagerly, so the caller may reuse it immediately; the
+// request completes when the message has traversed the link and arrived
+// at the destination endpoint.
+func (c *Comm) Isend(buf []byte, dest, tag int) *Request {
+	checkUserTag(tag)
+	return c.isend(buf, dest, tag)
+}
+
+// isend is the tag-unchecked variant used by collectives and runtime
+// protocols (which use reserved tags).
+func (c *Comm) isend(buf []byte, dest, tag int) *Request {
+	checkRank(dest, c.size)
+	exit := c.enter()
+	payload := make([]byte, len(buf))
+	copy(payload, buf)
+	req := newRequest(c, reqSend)
+	src := c.rank
+	c.sendFn(dest, tag, payload, func() {
+		req.complete(Status{Source: src, Tag: tag, Bytes: len(payload)})
+	})
+	exit()
+	return req
+}
+
+// Send is the blocking send: it returns when the message has arrived at
+// the destination endpoint.
+func (c *Comm) Send(buf []byte, dest, tag int) {
+	c.Isend(buf, dest, tag).Wait()
+}
+
+// Irecv posts a non-blocking receive into buf, matching src (or
+// AnySource) and tag (or AnyTag).
+func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
+	if tag != AnyTag {
+		checkUserTag(tag)
+	}
+	return c.irecv(buf, src, tag, false)
+}
+
+func (c *Comm) irecv(buf []byte, src, tag int, takeAll bool) *Request {
+	if src != AnySource {
+		checkRank(src, c.size)
+	}
+	exit := c.enter()
+	req := newRequest(c, reqRecv)
+	req.src, req.tag, req.buf, req.takeAll = src, tag, buf, takeAll
+
+	c.mu.Lock()
+	// First scan the unexpected queue in arrival order (non-overtaking).
+	for i := range c.unexpected {
+		if match(src, tag, c.unexpected[i].src, c.unexpected[i].tag) {
+			m := c.unexpected[i]
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			c.mu.Unlock()
+			exit()
+			req.fill(m)
+			return req
+		}
+	}
+	c.posted = append(c.posted, req)
+	c.mu.Unlock()
+	exit()
+	return req
+}
+
+// fill copies (or adopts) a matched message into the request and
+// completes it.
+func (r *Request) fill(m inMsg) {
+	st := Status{Source: m.src, Tag: m.tag}
+	if r.takeAll {
+		r.payload = m.payload
+		st.Bytes = len(m.payload)
+	} else {
+		n := copy(r.buf, m.payload)
+		st.Bytes = n
+		st.Truncated = n < len(m.payload)
+	}
+	r.complete(st)
+}
+
+// IrecvAdopt posts a non-blocking receive that adopts the full payload
+// whatever its size; read it with Request.Payload after completion.
+func (c *Comm) IrecvAdopt(src, tag int) *Request {
+	if tag != AnyTag {
+		checkUserTag(tag)
+	}
+	return c.irecv(nil, src, tag, true)
+}
+
+// Recv is the blocking receive. It returns the completion status.
+func (c *Comm) Recv(buf []byte, src, tag int) *Status {
+	return c.Irecv(buf, src, tag).Wait()
+}
+
+// RecvBytes receives a message of unknown size, returning the full
+// payload without pre-sizing a buffer.
+func (c *Comm) RecvBytes(src, tag int) ([]byte, *Status) {
+	r := c.irecv(nil, src, tag, true)
+	st := r.Wait()
+	return r.payload, st
+}
+
+// deliver runs in the network's delivery goroutine when a message arrives
+// at this endpoint: match a posted receive or queue as unexpected.
+// One-sided operations are applied here directly — the target's
+// application code never participates (passive-target RMA).
+func (c *Comm) deliver(m inMsg) {
+	switch m.tag {
+	case tagRMA:
+		c.applyRMA(m.src, m.payload)
+		return
+	case tagRMAResp:
+		c.applyGetResp(m.src, m.payload)
+		return
+	}
+	c.mu.Lock()
+	for i, req := range c.posted {
+		if match(req.src, req.tag, m.src, m.tag) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			c.arrived.Broadcast()
+			c.mu.Unlock()
+			req.fill(m)
+			return
+		}
+	}
+	c.unexpected = append(c.unexpected, m)
+	c.arrived.Broadcast()
+	c.mu.Unlock()
+}
+
+func match(wantSrc, wantTag, src, tag int) bool {
+	if wantSrc != AnySource && wantSrc != src {
+		return false
+	}
+	// AnyTag only matches user-space tags; reserved tags (collectives,
+	// runtime protocols) must be matched exactly, mirroring MPI's
+	// separate communication contexts.
+	if wantTag == AnyTag {
+		return tag >= 0 && tag < maxUserTag
+	}
+	return wantTag == tag
+}
+
+// Iprobe checks, without receiving, whether a matching message has
+// arrived. It mirrors MPI_Iprobe and is what the UTS baseline's polling
+// loop uses.
+func (c *Comm) Iprobe(src, tag int) (*Status, bool) {
+	exit := c.enter()
+	defer exit()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.unexpected {
+		if match(src, tag, c.unexpected[i].src, c.unexpected[i].tag) {
+			st := &Status{Source: c.unexpected[i].src, Tag: c.unexpected[i].tag, Bytes: len(c.unexpected[i].payload)}
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// Probe blocks until a matching message is available and returns its
+// envelope without receiving it. The library entry cost is paid up front;
+// the wait itself does not hold the entry lock (a blocked Probe must not
+// starve other threads of the endpoint).
+func (c *Comm) Probe(src, tag int) *Status {
+	c.enter()()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i := range c.unexpected {
+			if match(src, tag, c.unexpected[i].src, c.unexpected[i].tag) {
+				return &Status{Source: c.unexpected[i].src, Tag: c.unexpected[i].tag, Bytes: len(c.unexpected[i].payload)}
+			}
+		}
+		c.arrived.Wait()
+	}
+}
+
+// PendingUnexpected returns the number of queued unmatched messages
+// (diagnostic).
+func (c *Comm) PendingUnexpected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unexpected)
+}

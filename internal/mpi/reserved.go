@@ -1,0 +1,46 @@
+package mpi
+
+import "fmt"
+
+// Reserved-tag operations for runtime protocols (HCMPI's communication
+// worker, DDDF registration/data transfer). Reserved tags are negative,
+// disjoint from both user tags ([0, maxUserTag)) and collective tags
+// (>= maxUserTag); AnyTag wildcards never match them.
+
+func checkReservedTag(tag int) {
+	if tag >= 0 {
+		panic(fmt.Sprintf("mpi: reserved tag %d must be negative", tag))
+	}
+}
+
+// IsendReserved starts a non-blocking send on a reserved (negative) tag.
+func (c *Comm) IsendReserved(buf []byte, dest, tag int) *Request {
+	checkReservedTag(tag)
+	return c.isend(buf, dest, tag)
+}
+
+// SendReserved is the blocking counterpart of IsendReserved.
+func (c *Comm) SendReserved(buf []byte, dest, tag int) {
+	c.IsendReserved(buf, dest, tag).Wait()
+}
+
+// IrecvReserved posts a receive on a reserved tag that adopts the full
+// payload regardless of size; read it with Request.Payload after
+// completion.
+func (c *Comm) IrecvReserved(src, tag int) *Request {
+	checkReservedTag(tag)
+	return c.irecv(nil, src, tag, true)
+}
+
+// IprobeReserved is Iprobe for reserved tags.
+func (c *Comm) IprobeReserved(src, tag int) (*Status, bool) {
+	checkReservedTag(tag)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.unexpected {
+		if match(src, tag, c.unexpected[i].src, c.unexpected[i].tag) {
+			return &Status{Source: c.unexpected[i].src, Tag: c.unexpected[i].tag, Bytes: len(c.unexpected[i].payload)}, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,280 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// One-sided communication (RMA). The paper: "The only MPI feature that
+// HCMPI does not currently support is the remote memory access (RMA),
+// however that is straightforward to add to HCMPI and is a subject of
+// future work." This file adds it to the substrate: window creation,
+// Put/Get/Accumulate, and fence synchronization, in the style of MPI-2
+// active-target RMA.
+//
+// A window exposes a byte buffer per rank. One-sided operations are
+// applied at the target when their message is delivered — no target-side
+// code runs (true passive-target progress, which this substrate can
+// provide because delivery callbacks execute in the network layer). A
+// Put/Accumulate request completes when the operation has been applied;
+// Fence waits for all of this rank's outstanding operations and then
+// synchronizes all ranks, so every rank observes all pre-fence RMAs.
+
+// rmaKind discriminates one-sided operations on the wire.
+type rmaKind byte
+
+const (
+	rmaPut rmaKind = iota
+	rmaAcc
+	rmaGetReq
+	rmaGetResp
+)
+
+const (
+	tagRMA     = -401 // one-sided data/requests, handled at the target
+	tagRMAResp = -402 // get responses
+)
+
+// Win is an RMA window over a local buffer, symmetric across ranks.
+type Win struct {
+	comm *Comm
+	id   int
+	buf  []byte
+
+	mu sync.Mutex
+	// epochPending counts RMAs issued by this rank in the current fence
+	// epoch whose remote application has not been acknowledged.
+	epochPending []*Request
+	getSeq       int
+	pendingGets  map[int]*Request
+}
+
+// winRegistry is per-comm window bookkeeping.
+func (c *Comm) winByID(id int) *Win {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wins[id]
+}
+
+// WinCreate collectively creates a window exposing buf on every rank.
+// All ranks must call it in the same order.
+func (c *Comm) WinCreate(buf []byte) *Win {
+	c.mu.Lock()
+	id := c.nextWin
+	c.nextWin++
+	w := &Win{comm: c, id: id, buf: buf, pendingGets: map[int]*Request{}}
+	if c.wins == nil {
+		c.wins = map[int]*Win{}
+	}
+	c.wins[id] = w
+	c.mu.Unlock()
+	c.Barrier() // window exists everywhere before any RMA
+	return w
+}
+
+// Buf returns the locally exposed buffer.
+func (w *Win) Buf() []byte { return w.buf }
+
+// wire format: kind(1) win(4) offset(4) seq(4) dtSize(1) opCode(1) data...
+func rmaEncode(kind rmaKind, win, offset, seq int, dt Datatype, op Op, data []byte) []byte {
+	b := make([]byte, 15+len(data))
+	b[0] = byte(kind)
+	putU32(b[1:], uint32(win))
+	putU32(b[5:], uint32(offset))
+	putU32(b[9:], uint32(seq))
+	b[13] = byte(dt.Size)
+	b[14] = opCode(op)
+	copy(b[15:], data)
+	return b
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func opCode(op Op) byte {
+	switch op.Name {
+	case "sum":
+		return 1
+	case "prod":
+		return 2
+	case "max":
+		return 3
+	case "min":
+		return 4
+	}
+	return 0
+}
+
+func opFromCode(c byte) Op {
+	switch c {
+	case 1:
+		return OpSum
+	case 2:
+		return OpProd
+	case 3:
+		return OpMax
+	case 4:
+		return OpMin
+	}
+	return OpSum
+}
+
+func dtFromSize(s byte) Datatype {
+	switch s {
+	case 1:
+		return Byte
+	case 4:
+		return Int32
+	case 8:
+		return Int64
+	}
+	return Byte
+}
+
+// applyRMA executes one arriving one-sided operation at the target.
+func (c *Comm) applyRMA(src int, payload []byte) {
+	kind := rmaKind(payload[0])
+	winID := int(getU32(payload[1:]))
+	offset := int(getU32(payload[5:]))
+	seq := int(getU32(payload[9:]))
+	dt := dtFromSize(payload[13])
+	op := opFromCode(payload[14])
+	data := payload[15:]
+	w := c.winByID(winID)
+	if w == nil {
+		panic(fmt.Sprintf("mpi: RMA on unknown window %d", winID))
+	}
+	switch kind {
+	case rmaPut:
+		w.mu.Lock()
+		copy(w.buf[offset:], data)
+		w.mu.Unlock()
+	case rmaAcc:
+		w.mu.Lock()
+		op.Combine(dt, w.buf[offset:offset+len(data)], data)
+		w.mu.Unlock()
+	case rmaGetReq:
+		n := int(getU32(data))
+		w.mu.Lock()
+		out := make([]byte, n)
+		copy(out, w.buf[offset:offset+n])
+		w.mu.Unlock()
+		c.isend(rmaEncode(rmaGetResp, winID, offset, seq, dt, op, out), src, tagRMAResp)
+	}
+}
+
+// applyGetResp completes a pending Get with the returned bytes; it runs
+// at delivery time like applyRMA.
+func (c *Comm) applyGetResp(src int, payload []byte) {
+	winID := int(getU32(payload[1:]))
+	seq := int(getU32(payload[9:]))
+	w := c.winByID(winID)
+	w.mu.Lock()
+	req := w.pendingGets[seq]
+	delete(w.pendingGets, seq)
+	w.mu.Unlock()
+	req.payload = payload[15:]
+	req.complete(Status{Source: src, Bytes: len(payload) - 15})
+}
+
+// Put writes data into the target rank's window at offset. It returns a
+// request that completes when the write has been applied at the target;
+// Fence also orders it.
+func (w *Win) Put(data []byte, target, offset int) *Request {
+	c := w.comm
+	req := newRequest(c, reqSend)
+	if target == c.rank {
+		w.mu.Lock()
+		copy(w.buf[offset:], data)
+		w.mu.Unlock()
+		req.complete(Status{Bytes: len(data)})
+		return req
+	}
+	msg := rmaEncode(rmaPut, w.id, offset, 0, Byte, OpSum, data)
+	under := c.isend(msg, target, tagRMA)
+	go func() {
+		under.Wait()
+		req.complete(Status{Bytes: len(data)})
+	}()
+	w.track(req)
+	return req
+}
+
+// Accumulate combines data into the target's window with op (element
+// type dt), like MPI_Accumulate.
+func (w *Win) Accumulate(data []byte, dt Datatype, op Op, target, offset int) *Request {
+	c := w.comm
+	req := newRequest(c, reqSend)
+	if target == c.rank {
+		w.mu.Lock()
+		op.Combine(dt, w.buf[offset:offset+len(data)], data)
+		w.mu.Unlock()
+		req.complete(Status{Bytes: len(data)})
+		return req
+	}
+	msg := rmaEncode(rmaAcc, w.id, offset, 0, dt, op, data)
+	under := c.isend(msg, target, tagRMA)
+	go func() {
+		under.Wait()
+		req.complete(Status{Bytes: len(data)})
+	}()
+	w.track(req)
+	return req
+}
+
+// Get reads n bytes from the target's window at offset; the data is in
+// the request payload after completion.
+func (w *Win) Get(n, target, offset int) *Request {
+	c := w.comm
+	req := newRequest(c, reqRecv)
+	req.takeAll = true
+	if target == c.rank {
+		w.mu.Lock()
+		out := make([]byte, n)
+		copy(out, w.buf[offset:offset+n])
+		w.mu.Unlock()
+		req.payload = out
+		req.complete(Status{Bytes: n})
+		return req
+	}
+	w.mu.Lock()
+	seq := w.getSeq
+	w.getSeq++
+	w.pendingGets[seq] = req
+	w.mu.Unlock()
+	var nbuf [4]byte
+	putU32(nbuf[:], uint32(n))
+	c.isend(rmaEncode(rmaGetReq, w.id, offset, seq, Byte, OpSum, nbuf[:]), target, tagRMA)
+	w.track(req)
+	return req
+}
+
+// track records an outstanding epoch operation for Fence.
+func (w *Win) track(r *Request) {
+	w.mu.Lock()
+	w.epochPending = append(w.epochPending, r)
+	w.mu.Unlock()
+}
+
+// Fence closes the current access epoch: it waits for every one-sided
+// operation this rank issued to be applied, then synchronizes all ranks,
+// so that on return every rank observes all pre-fence RMAs
+// (MPI_Win_fence with assert 0).
+func (w *Win) Fence() {
+	w.mu.Lock()
+	pending := w.epochPending
+	w.epochPending = nil
+	w.mu.Unlock()
+	for _, r := range pending {
+		r.Wait()
+	}
+	w.comm.Barrier()
+}

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs grabs n free localhost ports.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runDistributed runs an SPMD body over a real TCP mesh; each rank is a
+// goroutine here, but nothing is shared — all communication crosses
+// sockets.
+func runDistributed(t *testing.T, n int, body func(c *Comm)) {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, closer, err := Distributed(r, addrs)
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			body(c)
+			c.Barrier() // settle all traffic before teardown
+			closer.Close()
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runDistributed(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send([]byte("over the wire"), 1, 9)
+		case 1:
+			payload, st := c.RecvBytes(0, 9)
+			if string(payload) != "over the wire" || st.Source != 0 {
+				t.Errorf("got %q %+v", payload, st)
+			}
+		}
+	})
+}
+
+func TestTCPNonOvertaking(t *testing.T) {
+	const msgs = 300
+	runDistributed(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				c.Isend([]byte{byte(i)}, 1, 3)
+			}
+		case 1:
+			buf := make([]byte, 1)
+			for i := 0; i < msgs; i++ {
+				c.Recv(buf, 0, 3)
+				if buf[0] != byte(i) {
+					t.Fatalf("overtaking at %d: got %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const n = 4
+	runDistributed(t, n, func(c *Comm) {
+		c.Barrier()
+		sum := DecodeInt64(c.Allreduce(EncodeInt64(int64(c.Rank()+1)), Int64, OpSum))
+		if sum != n*(n+1)/2 {
+			t.Errorf("rank %d sum %d", c.Rank(), sum)
+		}
+		buf := make([]byte, 8)
+		if c.Rank() == 3 {
+			copy(buf, EncodeInt64(777))
+		}
+		c.Bcast(buf, 3)
+		if DecodeInt64(buf) != 777 {
+			t.Errorf("rank %d bcast %d", c.Rank(), DecodeInt64(buf))
+		}
+		out := c.Allgather(EncodeInt64(int64(c.Rank() * 3)))
+		for r := 0; r < n; r++ {
+			if DecodeInt64(out[r]) != int64(r*3) {
+				t.Errorf("allgather[%d] = %d", r, DecodeInt64(out[r]))
+			}
+		}
+	})
+}
+
+func TestTCPRMA(t *testing.T) {
+	const n = 3
+	runDistributed(t, n, func(c *Comm) {
+		buf := make([]byte, n)
+		win := c.WinCreate(buf)
+		for target := 0; target < n; target++ {
+			win.Put([]byte{byte(c.Rank() + 1)}, target, c.Rank())
+		}
+		win.Fence()
+		for r := 0; r < n; r++ {
+			if buf[r] != byte(r+1) {
+				t.Errorf("rank %d buf[%d] = %d", c.Rank(), r, buf[r])
+			}
+		}
+	})
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	runDistributed(t, 2, func(c *Comm) {
+		c.Isend([]byte{9}, c.Rank(), 1) // loopback path
+		buf := make([]byte, 1)
+		c.Recv(buf, c.Rank(), 1)
+		if buf[0] != 9 {
+			t.Errorf("self-send got %d", buf[0])
+		}
+	})
+}
+
+func TestTCPWildcards(t *testing.T) {
+	runDistributed(t, 3, func(c *Comm) {
+		if c.Rank() == 2 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				_, st := c.RecvBytes(AnySource, AnyTag)
+				seen[st.Source] = true
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("sources %v", seen)
+			}
+			return
+		}
+		c.Send([]byte{byte(c.Rank())}, 2, c.Rank()+10)
+	})
+}
+
+func TestDistributedBadRank(t *testing.T) {
+	if _, _, err := Distributed(5, []string{"127.0.0.1:0"}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+var _ io.Closer = (*tcpMesh)(nil)

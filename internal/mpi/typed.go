@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Typed convenience layer: gob-encoded sends and receives for
+// applications that move Go values rather than raw buffers. The hot
+// paths (UTS chunks, SW edges) use explicit binary codecs; this layer is
+// for ergonomic application code, like the examples.
+
+// SendValue gob-encodes v and sends it (blocking).
+func (c *Comm) SendValue(v any, dest, tag int) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("mpi: encode for rank %d: %w", dest, err)
+	}
+	c.Send(buf.Bytes(), dest, tag)
+	return nil
+}
+
+// RecvValue receives a gob-encoded value into out (a non-nil pointer),
+// blocking until a matching message arrives.
+func (c *Comm) RecvValue(out any, src, tag int) (*Status, error) {
+	payload, st := c.RecvBytes(src, tag)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return st, fmt.Errorf("mpi: decode from rank %d: %w", st.Source, err)
+	}
+	return st, nil
+}
+
+// BcastValue broadcasts root's value to every rank: out must be a
+// non-nil pointer on every rank; on root it is also the input.
+func (c *Comm) BcastValue(out any, root int) error {
+	var payload []byte
+	if c.rank == root {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+			return fmt.Errorf("mpi: bcast encode: %w", err)
+		}
+		payload = buf.Bytes()
+	}
+	// Two-step: broadcast the length, then the body (sizes must agree
+	// across ranks for the byte-level Bcast).
+	lenBuf := make([]byte, 8)
+	if c.rank == root {
+		copy(lenBuf, EncodeInt64(int64(len(payload))))
+	}
+	c.Bcast(lenBuf, root)
+	n := int(DecodeInt64(lenBuf))
+	if c.rank != root {
+		payload = make([]byte, n)
+	}
+	c.Bcast(payload, root)
+	if c.rank == root {
+		return nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("mpi: bcast decode: %w", err)
+	}
+	return nil
+}
+
+// GatherValues gathers each rank's value at root, decoding into a fresh
+// slice of decoded values via the provided decoder (returns nil off
+// root).
+func GatherValues[T any](c *Comm, v T, root int) ([]T, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("mpi: gather encode: %w", err)
+	}
+	parts := c.Gather(buf.Bytes(), root)
+	if c.rank != root {
+		return nil, nil
+	}
+	out := make([]T, len(parts))
+	for r, p := range parts {
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&out[r]); err != nil {
+			return nil, fmt.Errorf("mpi: gather decode rank %d: %w", r, err)
+		}
+	}
+	return out, nil
+}

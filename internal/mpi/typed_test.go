@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"testing"
+)
+
+type sample struct {
+	Name  string
+	Vals  []int
+	Inner struct{ X float64 }
+}
+
+func TestSendRecvValue(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			s := sample{Name: "tile", Vals: []int{1, 2, 3}}
+			s.Inner.X = 2.5
+			if err := c.SendValue(s, 1, 4); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			var got sample
+			st, err := c.RecvValue(&got, 0, 4)
+			if err != nil || st.Source != 0 {
+				t.Errorf("recv: %v %+v", err, st)
+			}
+			if got.Name != "tile" || len(got.Vals) != 3 || got.Inner.X != 2.5 {
+				t.Errorf("got %+v", got)
+			}
+		}
+	})
+}
+
+func TestBcastValue(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		v := map[string]int{}
+		if c.Rank() == 2 {
+			v["answer"] = 42
+		}
+		if err := c.BcastValue(&v, 2); err != nil {
+			t.Fatal(err)
+		}
+		if v["answer"] != 42 {
+			t.Errorf("rank %d got %v", c.Rank(), v)
+		}
+	})
+}
+
+func TestGatherValues(t *testing.T) {
+	const n = 3
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		got, err := GatherValues(c, c.Rank()*10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Rank() != 1 {
+			if got != nil {
+				t.Error("non-root got data")
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			if got[r] != r*10 {
+				t.Errorf("got[%d] = %d", r, got[r])
+			}
+		}
+	})
+}
+
+func TestRecvValueDecodeError(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send([]byte("not gob"), 1, 0)
+		case 1:
+			var out sample
+			if _, err := c.RecvValue(&out, 0, 0); err == nil {
+				t.Error("garbage decoded without error")
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package mpi
+
+// Vector-variant collectives (the MPI *v family): per-rank counts differ.
+// Payloads here are naturally variable-length byte slices, so these are
+// thin orderings over the same reserved tag space.
+
+// Gatherv collects each rank's (arbitrarily sized) data at root; the
+// result at root is indexed by rank, nil elsewhere. Identical to Gather
+// in this substrate — provided for MPI API parity.
+func (c *Comm) Gatherv(data []byte, root int) [][]byte {
+	return c.Gather(data, root)
+}
+
+// Allgatherv collects each rank's data everywhere, sizes free.
+func (c *Comm) Allgatherv(data []byte) [][]byte {
+	return c.Allgather(data)
+}
+
+// Alltoallv sends parts[r] (any sizes) to rank r; returns the received
+// slice indexed by source.
+func (c *Comm) Alltoallv(parts [][]byte) [][]byte {
+	return c.Alltoall(parts)
+}
+
+// ReduceScatter folds every rank's data element-wise and scatters the
+// result: rank i receives the i-th block of the reduced vector, with
+// blocks sized counts[i] elements of dt. All ranks must pass the same
+// counts and data of length sum(counts)*dt.Size.
+func (c *Comm) ReduceScatter(data []byte, counts []int, dt Datatype, op Op) []byte {
+	if len(counts) != c.size {
+		panic("mpi: ReduceScatter needs one count per rank")
+	}
+	// Reduce to rank 0, then scatter the blocks. (MPI implementations
+	// use pairwise-exchange; functionally equivalent, and the blocking
+	// structure matches this substrate's collective style.)
+	red := c.Reduce(data, dt, op, 0)
+	var parts [][]byte
+	if c.rank == 0 {
+		parts = make([][]byte, c.size)
+		off := 0
+		for r, n := range counts {
+			sz := n * dt.Size
+			parts[r] = red[off : off+sz]
+			off += sz
+		}
+	}
+	return c.Scatter(parts, 0)
+}
+
+// Scatterv distributes root's variable-size parts; identical to Scatter
+// here, provided for MPI API parity.
+func (c *Comm) Scatterv(parts [][]byte, root int) []byte {
+	return c.Scatter(parts, root)
+}

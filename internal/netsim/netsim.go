@@ -1,0 +1,244 @@
+// Package netsim models the cluster interconnect that HCMPI runs over.
+//
+// The paper evaluates on two machines: ORNL Jaguar (Cray XK6, Gemini
+// interconnect) and Rice DAVinCI (QDR InfiniBand). Neither is available
+// here, so the transport is a pipe model: a message of size s sent from
+// rank i to rank j at time t arrives at
+//
+//	arrival = max(previousArrival(i,j), t+latency) + s/bandwidth
+//
+// which captures both the latency-bound regime the paper's latency and
+// message-rate micro-benchmarks probe and the bandwidth-bound regime its
+// bandwidth test probes, while preserving MPI's non-overtaking guarantee
+// per (src,dst) pair. Ranks that live on the same node use the (cheaper)
+// intra-node parameters, modelling shared-memory transports such as
+// Nemesis.
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Params describes one interconnect.
+type Params struct {
+	// IntraLatency and InterLatency are the one-way wire latencies for
+	// same-node and cross-node messages.
+	IntraLatency time.Duration
+	InterLatency time.Duration
+	// IntraBandwidth and InterBandwidth are link bandwidths in bytes per
+	// second; zero means infinite.
+	IntraBandwidth float64
+	InterBandwidth float64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) per
+	// message, modelling OS noise and switch contention. Non-overtaking
+	// per link is preserved: arrivals are still clamped to the pipe's
+	// previous arrival.
+	Jitter time.Duration
+}
+
+// Instant reports whether the network adds no delay at all; in that case
+// delivery happens synchronously in the sender's goroutine.
+func (p Params) Instant() bool {
+	return p.IntraLatency == 0 && p.InterLatency == 0 &&
+		p.IntraBandwidth == 0 && p.InterBandwidth == 0 && p.Jitter == 0
+}
+
+// Preset interconnects. The numbers are in the regime of the machines the
+// paper used; the micro-benchmark harness sweeps around them.
+var (
+	// InfiniBandQDR approximates DAVinCI's 40 Gb/s QDR fabric.
+	InfiniBandQDR = Params{
+		IntraLatency: 400 * time.Nanosecond, InterLatency: 1500 * time.Nanosecond,
+		IntraBandwidth: 12e9, InterBandwidth: 3.2e9,
+	}
+	// GeminiXK6 approximates Jaguar's Gemini interconnect.
+	GeminiXK6 = Params{
+		IntraLatency: 400 * time.Nanosecond, InterLatency: 1600 * time.Nanosecond,
+		IntraBandwidth: 12e9, InterBandwidth: 5.5e9,
+	}
+	// Loopback is a zero-cost network for functional tests.
+	Loopback = Params{}
+)
+
+// Stats aggregates traffic counters for one Network.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+type message struct {
+	size     int
+	sendTime time.Time
+	deliver  func()
+}
+
+// link is the FIFO pipe between one ordered (src,dst) pair.
+type link struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	closed  bool
+	latency time.Duration
+	bw      float64
+}
+
+// Network connects n ranks. Rank-to-node placement decides which parameter
+// class each link uses.
+type Network struct {
+	n      int
+	node   []int
+	params Params
+	msgs   atomic.Int64
+	bytes  atomic.Int64
+
+	mu    sync.Mutex
+	links map[[2]int]*link
+	wg    sync.WaitGroup
+	done  bool
+}
+
+// New creates a network of n ranks. nodeOf maps a rank to its node id; nil
+// means every rank is its own node.
+func New(n int, nodeOf func(rank int) int, p Params) *Network {
+	nw := &Network{n: n, node: make([]int, n), params: p, links: make(map[[2]int]*link)}
+	for r := 0; r < n; r++ {
+		if nodeOf != nil {
+			nw.node[r] = nodeOf(r)
+		} else {
+			nw.node[r] = r
+		}
+	}
+	return nw
+}
+
+// Size returns the number of ranks.
+func (nw *Network) Size() int { return nw.n }
+
+// NodeOf returns the node id hosting rank r.
+func (nw *Network) NodeOf(r int) int { return nw.node[r] }
+
+// SameNode reports whether two ranks share a node.
+func (nw *Network) SameNode(a, b int) bool { return nw.node[a] == nw.node[b] }
+
+// Stats returns a snapshot of traffic counters.
+func (nw *Network) Stats() Stats {
+	return Stats{Messages: nw.msgs.Load(), Bytes: nw.bytes.Load()}
+}
+
+// Send schedules deliver() to run once the message has traversed the
+// (src,dst) link. Delivery order per (src,dst) pair is FIFO. With an
+// Instant network the callback runs synchronously before Send returns.
+func (nw *Network) Send(src, dst, size int, deliver func()) {
+	nw.msgs.Add(1)
+	nw.bytes.Add(int64(size))
+	if nw.params.Instant() {
+		deliver()
+		return
+	}
+	l := nw.getLink(src, dst)
+	l.mu.Lock()
+	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), deliver: deliver})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (nw *Network) getLink(src, dst int) *link {
+	key := [2]int{src, dst}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if l, ok := nw.links[key]; ok {
+		return l
+	}
+	l := &link{}
+	l.cond = sync.NewCond(&l.mu)
+	if nw.SameNode(src, dst) {
+		l.latency, l.bw = nw.params.IntraLatency, nw.params.IntraBandwidth
+	} else {
+		l.latency, l.bw = nw.params.InterLatency, nw.params.InterBandwidth
+	}
+	nw.links[key] = l
+	if nw.done {
+		l.closed = true
+	} else {
+		nw.wg.Add(1)
+		go nw.pump(l)
+	}
+	return l
+}
+
+// pump is the per-link delivery goroutine: it dequeues messages in FIFO
+// order, waits out the pipe model (plus jitter), then invokes the
+// delivery callback.
+func (nw *Network) pump(l *link) {
+	defer nw.wg.Done()
+	var lastArrival time.Time
+	var rngState uint64 = 0x9E3779B97F4A7C15
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		m := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		arrival := m.sendTime.Add(l.latency)
+		if j := nw.params.Jitter; j > 0 {
+			// xorshift64*: cheap per-link deterministic noise.
+			rngState ^= rngState << 13
+			rngState ^= rngState >> 7
+			rngState ^= rngState << 17
+			arrival = arrival.Add(time.Duration(rngState % uint64(j)))
+		}
+		if arrival.Before(lastArrival) {
+			arrival = lastArrival
+		}
+		if l.bw > 0 {
+			arrival = arrival.Add(time.Duration(float64(m.size) / l.bw * float64(time.Second)))
+		}
+		sleepUntil(arrival)
+		lastArrival = arrival
+		m.deliver()
+	}
+}
+
+// Close drains all links and stops their pump goroutines. Pending messages
+// are still delivered.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	nw.done = true
+	for _, l := range nw.links {
+		l.mu.Lock()
+		l.closed = true
+		l.cond.Signal()
+		l.mu.Unlock()
+	}
+	nw.mu.Unlock()
+	nw.wg.Wait()
+}
+
+// spinThreshold is the window within which sleepUntil busy-yields instead
+// of sleeping, because OS timer granularity (tens of microseconds) would
+// otherwise destroy the microsecond-scale latencies the model needs.
+const spinThreshold = 100 * time.Microsecond
+
+func sleepUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d > spinThreshold {
+			time.Sleep(d - spinThreshold/2)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInstantDeliversInline(t *testing.T) {
+	nw := New(2, nil, Loopback)
+	defer nw.Close()
+	delivered := false
+	nw.Send(0, 1, 8, func() { delivered = true })
+	if !delivered {
+		t.Fatal("instant network did not deliver synchronously")
+	}
+	if s := nw.Stats(); s.Messages != 1 || s.Bytes != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLatencyLowerBound(t *testing.T) {
+	p := Params{InterLatency: 2 * time.Millisecond}
+	nw := New(2, nil, p)
+	defer nw.Close()
+	done := make(chan time.Time, 1)
+	start := time.Now()
+	nw.Send(0, 1, 0, func() { done <- time.Now() })
+	arr := <-done
+	if d := arr.Sub(start); d < 2*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 2ms", d)
+	}
+}
+
+func TestBandwidthDominatesForLargeMessages(t *testing.T) {
+	// 1 MB at 1 GB/s => 1ms transfer, latency negligible.
+	p := Params{InterLatency: 10 * time.Microsecond, InterBandwidth: 1e9}
+	nw := New(2, nil, p)
+	defer nw.Close()
+	done := make(chan time.Time, 1)
+	start := time.Now()
+	nw.Send(0, 1, 1<<20, func() { done <- time.Now() })
+	arr := <-done
+	if d := arr.Sub(start); d < time.Millisecond {
+		t.Fatalf("1MB at 1GB/s delivered after %v, want >= 1ms", d)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	p := Params{InterLatency: 100 * time.Microsecond}
+	nw := New(2, nil, p)
+	defer nw.Close()
+	const n = 50
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		nw.Send(0, 1, 8, func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestIntraVsInterNodeClassing(t *testing.T) {
+	// Ranks 0,1 on node 0; rank 2 on node 1.
+	nodeOf := func(r int) int { return r / 2 }
+	p := Params{IntraLatency: 0, InterLatency: 3 * time.Millisecond}
+	nw := New(4, nodeOf, p)
+	defer nw.Close()
+	if !nw.SameNode(0, 1) || nw.SameNode(1, 2) {
+		t.Fatal("node mapping wrong")
+	}
+
+	fast := make(chan time.Time, 1)
+	slow := make(chan time.Time, 1)
+	start := time.Now()
+	nw.Send(0, 1, 0, func() { fast <- time.Now() })
+	nw.Send(0, 2, 0, func() { slow <- time.Now() })
+	df := (<-fast).Sub(start)
+	ds := (<-slow).Sub(start)
+	if ds < 3*time.Millisecond {
+		t.Fatalf("inter-node delivery after %v, want >= 3ms", ds)
+	}
+	if df >= ds {
+		t.Fatalf("intra-node (%v) not faster than inter-node (%v)", df, ds)
+	}
+}
+
+func TestCloseDrainsPending(t *testing.T) {
+	p := Params{InterLatency: 500 * time.Microsecond}
+	nw := New(2, nil, p)
+	var delivered atomic.Int64
+	const n = 10
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, 0, func() { delivered.Add(1) })
+	}
+	nw.Close()
+	if delivered.Load() != n {
+		t.Fatalf("Close dropped messages: delivered %d want %d", delivered.Load(), n)
+	}
+}
+
+func TestPipelinedLatency(t *testing.T) {
+	// Two back-to-back messages should arrive ~latency apart from start,
+	// not 2x latency: the pipe is pipelined (only bandwidth serializes).
+	p := Params{InterLatency: 5 * time.Millisecond}
+	nw := New(2, nil, p)
+	defer nw.Close()
+	ch := make(chan time.Time, 2)
+	start := time.Now()
+	nw.Send(0, 1, 0, func() { ch <- time.Now() })
+	nw.Send(0, 1, 0, func() { ch <- time.Now() })
+	<-ch
+	second := <-ch
+	if d := second.Sub(start); d > 9*time.Millisecond {
+		t.Fatalf("second message arrived after %v; pipe is not pipelined", d)
+	}
+}
+
+func TestDefaultNodeMapping(t *testing.T) {
+	nw := New(3, nil, Loopback)
+	defer nw.Close()
+	for r := 0; r < 3; r++ {
+		if nw.NodeOf(r) != r {
+			t.Fatalf("NodeOf(%d) = %d", r, nw.NodeOf(r))
+		}
+	}
+	if nw.Size() != 3 {
+		t.Fatalf("Size = %d", nw.Size())
+	}
+}

@@ -1,0 +1,220 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	team := NewTeam(4)
+	var ids [4]atomic.Int32
+	team.Parallel(func(tc *TC) {
+		ids[tc.ThreadNum()].Add(1)
+		if tc.NumThreads() != 4 {
+			t.Errorf("NumThreads = %d", tc.NumThreads())
+		}
+	})
+	for i := range ids {
+		if ids[i].Load() != 1 {
+			t.Fatalf("thread %d ran %d times", i, ids[i].Load())
+		}
+	}
+}
+
+func TestParallelImplicitJoin(t *testing.T) {
+	team := NewTeam(3)
+	var done atomic.Int32
+	team.Parallel(func(tc *TC) {
+		time.Sleep(time.Duration(tc.ThreadNum()) * time.Millisecond)
+		done.Add(1)
+	})
+	if done.Load() != 3 {
+		t.Fatal("Parallel returned before all threads finished")
+	}
+}
+
+func TestInRegionBarrier(t *testing.T) {
+	team := NewTeam(4)
+	var before atomic.Int32
+	team.Parallel(func(tc *TC) {
+		before.Add(1)
+		tc.Barrier()
+		if before.Load() != 4 {
+			t.Errorf("thread %d crossed barrier with %d arrivals", tc.ThreadNum(), before.Load())
+		}
+		tc.Barrier() // reusable
+	})
+}
+
+func TestStaticForCoversRange(t *testing.T) {
+	team := NewTeam(3)
+	const n = 100
+	var hits [n]atomic.Int32
+	team.Parallel(func(tc *TC) {
+		tc.StaticFor(n, func(i int) { hits[i].Add(1) })
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestDynamicForCoversRangeOnce(t *testing.T) {
+	team := NewTeam(4)
+	const n = 237
+	var hits [n]atomic.Int32
+	team.Parallel(func(tc *TC) {
+		tc.DynamicFor(n, 5, func(i int) { hits[i].Add(1) })
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestTwoDynamicLoopsDoNotShareCounters(t *testing.T) {
+	team := NewTeam(3)
+	const n = 50
+	var a, b [n]atomic.Int32
+	team.Parallel(func(tc *TC) {
+		tc.DynamicFor(n, 4, func(i int) { a[i].Add(1) })
+		tc.DynamicFor(n, 4, func(i int) { b[i].Add(1) })
+	})
+	for i := 0; i < n; i++ {
+		if a[i].Load() != 1 || b[i].Load() != 1 {
+			t.Fatalf("i=%d a=%d b=%d", i, a[i].Load(), b[i].Load())
+		}
+	}
+}
+
+func TestForReduceInt64(t *testing.T) {
+	team := NewTeam(4)
+	const n = 1000
+	var results [4]int64
+	team.Parallel(func(tc *TC) {
+		results[tc.ThreadNum()] = tc.ForReduceInt64(n, 16,
+			func(i int) int64 { return int64(i) },
+			func(a, b int64) int64 { return a + b }, 0)
+	})
+	want := int64(n * (n - 1) / 2)
+	for i, r := range results {
+		if r != want {
+			t.Fatalf("thread %d reduce = %d want %d", i, r, want)
+		}
+	}
+}
+
+func TestCriticalExcludes(t *testing.T) {
+	team := NewTeam(4)
+	counter := 0 // unsynchronized on purpose; protected by Critical
+	team.Parallel(func(tc *TC) {
+		for i := 0; i < 1000; i++ {
+			tc.Critical(func() { counter++ })
+		}
+	})
+	if counter != 4000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestSingleRunsOnce(t *testing.T) {
+	team := NewTeam(4)
+	var n atomic.Int32
+	team.Parallel(func(tc *TC) {
+		tc.Single(func() { n.Add(1) })
+	})
+	if n.Load() != 1 {
+		t.Fatalf("Single ran %d times", n.Load())
+	}
+}
+
+func TestCancellableBarrier(t *testing.T) {
+	b := NewBarrier(3)
+	results := make(chan bool, 2)
+	go func() { results <- b.Wait() }()
+	go func() { results <- b.Wait() }()
+	time.Sleep(5 * time.Millisecond)
+	b.Cancel()
+	if r1, r2 := <-results, <-results; r1 || r2 {
+		t.Fatal("cancelled barrier returned true")
+	}
+	// Poisoned until reset.
+	if b.Wait() {
+		t.Fatal("Wait on cancelled barrier returned true")
+	}
+	if !b.Cancelled() {
+		t.Fatal("Cancelled() false")
+	}
+	b.Reset()
+	done := make(chan bool, 3)
+	for i := 0; i < 3; i++ {
+		go func() { done <- b.Wait() }()
+	}
+	for i := 0; i < 3; i++ {
+		if !<-done {
+			t.Fatal("Wait after Reset returned false")
+		}
+	}
+}
+
+func TestBarrierManyCycles(t *testing.T) {
+	team := NewTeam(4)
+	var phase atomic.Int32
+	team.Parallel(func(tc *TC) {
+		for p := 0; p < 100; p++ {
+			if int(phase.Load()) != p {
+				t.Errorf("thread %d at cycle %d saw phase %d", tc.ThreadNum(), p, phase.Load())
+			}
+			tc.Barrier()
+			if tc.ThreadNum() == 0 {
+				phase.Add(1)
+			}
+			tc.Barrier()
+		}
+	})
+}
+
+func TestTeamSizeClamp(t *testing.T) {
+	if NewTeam(0).NumThreads() != 1 {
+		t.Fatal("zero team size not clamped")
+	}
+}
+
+// Property: dynamic scheduling covers any (n, chunk, threads) exactly.
+func TestQuickDynamicForCoverage(t *testing.T) {
+	f := func(n8, c8, p8 uint8) bool {
+		n := int(n8%200) + 1
+		chunk := int(c8 % 17) // 0 is clamped to 1
+		p := int(p8%6) + 1
+		hits := make([]atomic.Int32, n)
+		team := NewTeam(p)
+		team.Parallel(func(tc *TC) {
+			tc.DynamicFor(n, chunk, func(i int) { hits[i].Add(1) })
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamForOneCall(t *testing.T) {
+	team := NewTeam(3)
+	const n = 100
+	var hits [n]atomic.Int32
+	team.For(n, 7, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("i=%d ran %d times", i, hits[i].Load())
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package sim is a process-oriented discrete-event simulator: the
+// substrate on which the paper's evaluation is regenerated at its real
+// scale (up to 1024 nodes × 16 cores — sixteen thousand workers), which
+// no laptop can execute natively. Simulated processes are goroutines
+// coupled to a single-threaded kernel that advances a virtual clock;
+// computation is modelled as Wait(duration), communication by the pipe
+// model of package netsim transplanted into virtual time, and contention
+// (the MPI_THREAD_MULTIPLE library lock) by an explicitly queued
+// Resource.
+//
+// The kernel is deterministic: for a fixed seed, every run produces the
+// same event order (events are dequeued by (time, sequence)).
+//
+// Exactly one entity runs at any instant — the kernel or a single
+// process — so model state needs no synchronization.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a kernel action scheduled at a virtual time.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)      { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any)  { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func (h *eventHeap) PushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) PopEv() *event   { return heap.Pop(h).(*event) }
+
+// Kernel owns the virtual clock and the event queue.
+type Kernel struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+	parked chan struct{} // a running proc signals the kernel here
+	rng    *rand.Rand
+	nprocs int
+	live   int
+}
+
+// NewKernel creates a kernel with a deterministic seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{parked: make(chan struct{}), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rng returns the kernel's deterministic random source. Use only from
+// model code (kernel or running-process context).
+func (k *Kernel) Rng() *rand.Rand { return k.rng }
+
+// Schedule runs fn at virtual time k.Now()+d in kernel context.
+func (k *Kernel) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	k.events.PushEv(&event{at: k.now + d, seq: k.seq, fn: fn})
+}
+
+// Proc is one simulated thread of control.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	done bool
+	// wakeVal passes a value from the waker to a parked proc (used by
+	// queues and conds).
+	wakeVal any
+	// waitGen invalidates stale timer wakeups after an interrupt.
+	waitGen     int64
+	inWait      bool
+	interrupted bool
+}
+
+// Name returns the process name (diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Go spawns a simulated process starting at the current virtual time.
+func (k *Kernel) Go(name string, f func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.nprocs++
+	k.live++
+	go func() {
+		<-p.wake // wait for the kernel to run us the first time
+		f(p)
+		p.done = true
+		k.live--
+		k.parked <- struct{}{}
+	}()
+	k.Schedule(0, func() { k.resume(p) })
+	return p
+}
+
+// resume hands control to p until it parks again (or finishes). Kernel
+// context only.
+func (k *Kernel) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	p.wake <- struct{}{}
+	<-k.parked
+}
+
+// park yields control back to the kernel; the proc sleeps until resumed.
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	<-p.wake
+}
+
+// Wait advances the process's virtual time by d (modelled computation or
+// polling delay).
+func (p *Proc) Wait(d time.Duration) {
+	k := p.k
+	k.Schedule(d, func() { k.resume(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the same virtual time, after already
+// queued events.
+func (p *Proc) Yield() { p.Wait(0) }
+
+// WaitInterruptible parks for up to d of virtual time, returning early if
+// another entity calls Interrupt. It reports the elapsed virtual time and
+// whether it was interrupted. UTS victims model long exploration segments
+// this way: a steal request interrupts the segment, the victim replays
+// its walk to the poll boundary, answers, and resumes.
+func (p *Proc) WaitInterruptible(d time.Duration) (time.Duration, bool) {
+	k := p.k
+	start := k.now
+	p.waitGen++
+	gen := p.waitGen
+	p.inWait = true
+	p.interrupted = false
+	k.Schedule(d, func() {
+		if p.waitGen == gen && p.inWait {
+			p.inWait = false
+			k.resume(p)
+		}
+	})
+	p.park()
+	p.inWait = false
+	return k.now - start, p.interrupted
+}
+
+// Interrupt wakes a process parked in WaitInterruptible. Calling it when
+// the target is not in such a wait is a no-op. Kernel/other-proc context.
+func (p *Proc) Interrupt() {
+	if !p.inWait {
+		return
+	}
+	p.inWait = false
+	p.interrupted = true
+	p.waitGen++ // invalidate the pending timer event
+	k := p.k
+	k.Schedule(0, func() { k.resume(p) })
+}
+
+// Run processes events until the queue drains or until the virtual clock
+// exceeds limit (limit <= 0 means no limit). It returns the final virtual
+// time.
+func (k *Kernel) Run(limit time.Duration) time.Duration {
+	for k.events.Len() > 0 {
+		e := k.events.PopEv()
+		if limit > 0 && e.at > limit {
+			k.now = limit
+			return k.now
+		}
+		if e.at > k.now {
+			k.now = e.at
+		}
+		e.fn()
+	}
+	return k.now
+}
+
+// Stuck panics if live processes remain after the event queue drained —
+// a modelling bug (deadlock in virtual time).
+func (k *Kernel) Stuck() error {
+	if k.live > 0 && k.events.Len() == 0 {
+		return fmt.Errorf("sim: %d processes blocked forever (virtual deadlock)", k.live)
+	}
+	return nil
+}
+
+// Live returns the number of unfinished processes.
+func (k *Kernel) Live() int { return k.live }

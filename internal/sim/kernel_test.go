@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"hcmpi/internal/netsim"
+)
+
+func TestVirtualClockAdvances(t *testing.T) {
+	k := NewKernel(1)
+	var times []time.Duration
+	k.Go("a", func(p *Proc) {
+		p.Wait(10 * time.Millisecond)
+		times = append(times, p.Now())
+		p.Wait(5 * time.Millisecond)
+		times = append(times, p.Now())
+	})
+	k.Run(0)
+	if len(times) != 2 || times[0] != 10*time.Millisecond || times[1] != 15*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+	if err := k.Stuck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(30*time.Microsecond, func() { order = append(order, 3) })
+	k.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	k.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	k.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Schedule(time.Microsecond, func() { order = append(order, i) })
+	}
+	k.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestInterleavedProcsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var log []string
+		for i := 0; i < 3; i++ {
+			name := string(rune('a' + i))
+			k.Go(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Wait(time.Duration(k.Rng().Intn(100)) * time.Microsecond)
+					log = append(log, p.Name())
+				}
+			})
+		}
+		k.Run(0)
+		return log
+	}
+	r1, r2 := run(), run()
+	if len(r1) != 9 || len(r1) != len(r2) {
+		t.Fatalf("lens %d %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, r1, r2)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(time.Second, func() { fired = true })
+	end := k.Run(100 * time.Millisecond)
+	if fired || end != 100*time.Millisecond {
+		t.Fatalf("fired=%v end=%v", fired, end)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var got []int
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		q.Push(1)
+		q.Push(2)
+		p.Wait(time.Millisecond)
+		q.Push(3)
+	})
+	k.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if err := k.Stuck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceQueueingMeasured(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	hold := 10 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		k.Go("t", func(p *Proc) {
+			r.Acquire(p)
+			p.Wait(hold)
+			r.Release()
+		})
+	}
+	end := k.Run(0)
+	if end != 30*time.Millisecond {
+		t.Fatalf("end = %v want 30ms (serialized)", end)
+	}
+	// Queueing: second waits 10ms, third waits 20ms.
+	if r.TotalQueueing != 30*time.Millisecond {
+		t.Fatalf("TotalQueueing = %v want 30ms", r.TotalQueueing)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k := NewKernel(1)
+	b := NewBarrier(k, 3)
+	var releases []time.Duration
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i+1) * 10 * time.Millisecond
+		k.Go("t", func(p *Proc) {
+			p.Wait(d)
+			b.Wait(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	k.Run(0)
+	for _, r := range releases {
+		if r != 30*time.Millisecond {
+			t.Fatalf("releases = %v", releases)
+		}
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	k.Go("s", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		c.Signal()
+		p.Wait(time.Millisecond)
+		c.Broadcast()
+	})
+	k.Run(0)
+	if woke != 3 {
+		t.Fatalf("woke = %d", woke)
+	}
+}
+
+func TestNetPipeModelVirtual(t *testing.T) {
+	k := NewKernel(1)
+	nt := NewNet(k, 2, nil, netsim.Params{InterLatency: 5 * time.Microsecond, InterBandwidth: 1e9})
+	var arrivals []time.Duration
+	// Two back-to-back 1000B messages: first at 5µs+1µs, second pipelined
+	// at 5µs+2µs (bandwidth serializes, latency does not).
+	nt.Send(0, 1, 1000, func() { arrivals = append(arrivals, k.Now()) })
+	nt.Send(0, 1, 1000, func() { arrivals = append(arrivals, k.Now()) })
+	k.Run(0)
+	if arrivals[0] != 6*time.Microsecond || arrivals[1] != 7*time.Microsecond {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if nt.Messages != 2 || nt.Bytes != 2000 {
+		t.Fatalf("stats %d %d", nt.Messages, nt.Bytes)
+	}
+}
+
+func TestSimMPISendRecv(t *testing.T) {
+	k := NewKernel(1)
+	nt := NewNet(k, 2, nil, netsim.Params{InterLatency: 2 * time.Microsecond})
+	eps := NewWorld(k, nt, 2, MPIParams{})
+	var got Msg
+	k.Go("r1", func(p *Proc) {
+		got = eps[1].Recv(p, 0, 7)
+	})
+	k.Go("r0", func(p *Proc) {
+		eps[0].Send(p, 1, 7, 100, "hello")
+	})
+	k.Run(0)
+	if got.Payload != "hello" || got.Src != 0 || got.Tag != 7 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := k.Stuck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimMPIThreadLockSerializes(t *testing.T) {
+	k := NewKernel(1)
+	nt := NewNet(k, 2, nil, netsim.Params{})
+	par := MPIParams{ThreadMultiple: true, LockHold: 100 * time.Microsecond}
+	eps := NewWorld(k, nt, 2, par)
+	// 4 threads of rank 0 send concurrently: lock serializes them.
+	for i := 0; i < 4; i++ {
+		k.Go("t", func(p *Proc) {
+			eps[0].Isend(p, 1, 1, 8, nil)
+		})
+	}
+	end := k.Run(0)
+	if end != 400*time.Microsecond {
+		t.Fatalf("end = %v want 400µs (lock-serialized)", end)
+	}
+	if eps[0].LockQueueing() == 0 {
+		t.Fatal("no lock queueing recorded")
+	}
+}
+
+func TestSimMPIBarrierAndAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		k := NewKernel(1)
+		nt := NewNet(k, n, nil, netsim.Params{InterLatency: time.Microsecond})
+		eps := NewWorld(k, nt, n, MPIParams{})
+		results := make([]int, n)
+		for r := 0; r < n; r++ {
+			r := r
+			k.Go("p", func(p *Proc) {
+				eps[r].Barrier(p)
+				v := eps[r].Allreduce(p, 8, r+1, func(a, b any) any { return a.(int) + b.(int) })
+				results[r] = v.(int)
+			})
+		}
+		k.Run(0)
+		if err := k.Stuck(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := n * (n + 1) / 2
+		for r := 0; r < n; r++ {
+			if results[r] != want {
+				t.Fatalf("n=%d rank %d: %d want %d", n, r, results[r], want)
+			}
+		}
+	}
+}
+
+func TestSimMPIWildcardsAndProbe(t *testing.T) {
+	k := NewKernel(1)
+	nt := NewNet(k, 2, nil, netsim.Params{})
+	eps := NewWorld(k, nt, 2, MPIParams{})
+	k.Go("recv", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		if _, ok := eps[1].Iprobe(p, AnySource, 9); !ok {
+			t.Error("Iprobe missed message")
+		}
+		m := eps[1].Recv(p, AnySource, AnyTag)
+		if m.Tag != 9 {
+			t.Errorf("tag %d", m.Tag)
+		}
+	})
+	k.Go("send", func(p *Proc) {
+		eps[0].Isend(p, 1, 9, 4, nil)
+	})
+	k.Run(0)
+}
+
+func TestBarrierScalesLogarithmically(t *testing.T) {
+	cost := func(n int) time.Duration {
+		k := NewKernel(1)
+		nt := NewNet(k, n, nil, netsim.Params{InterLatency: 10 * time.Microsecond})
+		eps := NewWorld(k, nt, n, MPIParams{})
+		for r := 0; r < n; r++ {
+			r := r
+			k.Go("p", func(p *Proc) { eps[r].Barrier(p) })
+		}
+		return k.Run(0)
+	}
+	c2, c16 := cost(2), cost(16)
+	if c16 < c2 || c16 > 8*c2 {
+		t.Fatalf("barrier cost 2=%v 16=%v: not logarithmic-ish", c2, c16)
+	}
+}
+
+func TestWaitInterruptible(t *testing.T) {
+	k := NewKernel(1)
+	var elapsed time.Duration
+	var interrupted bool
+	p := k.Go("sleeper", func(p *Proc) {
+		elapsed, interrupted = p.WaitInterruptible(100 * time.Millisecond)
+	})
+	k.Schedule(30*time.Millisecond, func() { p.Interrupt() })
+	k.Run(0)
+	if !interrupted || elapsed != 30*time.Millisecond {
+		t.Fatalf("elapsed=%v interrupted=%v", elapsed, interrupted)
+	}
+}
+
+func TestWaitInterruptibleTimesOut(t *testing.T) {
+	k := NewKernel(1)
+	var elapsed time.Duration
+	var interrupted bool
+	k.Go("sleeper", func(p *Proc) {
+		elapsed, interrupted = p.WaitInterruptible(10 * time.Millisecond)
+	})
+	k.Run(0)
+	if interrupted || elapsed != 10*time.Millisecond {
+		t.Fatalf("elapsed=%v interrupted=%v", elapsed, interrupted)
+	}
+}
+
+func TestInterruptOutsideWaitIsNoop(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Go("busy", func(p *Proc) {
+		p.Wait(5 * time.Millisecond) // plain wait: not interruptible
+	})
+	k.Schedule(time.Millisecond, func() { p.Interrupt() })
+	end := k.Run(0)
+	if end != 5*time.Millisecond {
+		t.Fatalf("plain wait was cut short: %v", end)
+	}
+}
+
+func TestStaleTimerAfterInterruptIgnored(t *testing.T) {
+	k := NewKernel(1)
+	var wakes int
+	k.Go("sleeper", func(p *Proc) {
+		p.WaitInterruptible(50 * time.Millisecond)
+		wakes++
+		p.Wait(100 * time.Millisecond) // stale timer at t=50ms must not fire
+		wakes++
+	})
+	k.Go("interrupter", func(p *Proc) {
+		p.Wait(10 * time.Millisecond)
+		// find sleeper via closure would be nicer; interrupt via schedule:
+	})
+	k.Run(0)
+	if wakes != 2 {
+		t.Fatalf("wakes = %d", wakes)
+	}
+}
+
+func TestEventLatch(t *testing.T) {
+	k := NewKernel(1)
+	e := NewEvent(k)
+	order := []string{}
+	k.Go("early", func(p *Proc) {
+		e.Wait(p)
+		order = append(order, "early")
+	})
+	k.Go("firer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		e.Fire()
+		e.Fire() // idempotent
+	})
+	k.Run(0)
+	// Late waiter sees the latch immediately.
+	k.Go("late", func(p *Proc) {
+		e.Wait(p)
+		order = append(order, "late")
+	})
+	k.Run(0)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("order %v", order)
+	}
+	if !e.Fired() {
+		t.Fatal("not fired")
+	}
+}

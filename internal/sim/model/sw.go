@@ -1,0 +1,305 @@
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/sim"
+	"hcmpi/internal/sw"
+)
+
+// Tiled Smith-Waterman at paper scale (Table IV / Fig. 24 / Fig. 25).
+// Tiles carry no data here — only dependence structure and timing: a tile
+// costs area·CellCost to compute; its right/bottom/corner edges travel to
+// the consumers' owners over the modelled network. The HCMPI DDDF version
+// lets every node advance an unstructured frontier (tiles run as soon as
+// their three inputs are locally available); the hybrid version computes
+// diagonal-by-diagonal with a fork-join region per diagonal and all
+// communication staged after the region — the structural difference the
+// paper blames for Fig. 25.
+
+// SWParams parameterize a simulated alignment.
+type SWParams struct {
+	Cfg      sw.Config
+	CellCost time.Duration // per DP cell (paper Jaguar ≈ 4.4ns)
+	CM       CostModel
+	Dist     sw.Distribution
+}
+
+// DefaultSWParams models the paper's Table IV problem.
+func DefaultSWParams() SWParams {
+	return SWParams{
+		Cfg: sw.Config{
+			LenA: 1_856_000, LenB: 1_920_000,
+			OuterH: 9280, OuterW: 9600,
+		},
+		CellCost: 4400 * time.Nanosecond / 1000, // 4.4ns
+		CM:       DefaultCosts(),
+		Dist:     sw.DiagonalBlocks,
+	}
+}
+
+// Fig25SWParams models the smaller Fig. 25 comparison.
+func Fig25SWParams() SWParams {
+	p := DefaultSWParams()
+	p.Cfg.LenA, p.Cfg.LenB = 371_200, 384_000
+	p.Cfg.OuterH, p.Cfg.OuterW = 9280, 9600
+	return p
+}
+
+type swTile struct {
+	ti, tj  int
+	deps    int
+	ready   bool
+	done    bool
+	compute time.Duration
+}
+
+// SWRunDDDF simulates the HCMPI DDDF version with cores-1 computation
+// workers per node and returns the makespan.
+func SWRunDDDF(nodes, cores int, sp SWParams) time.Duration {
+	k := sim.NewKernel(3)
+	nt := sim.NewNet(k, nodes, nil, sp.CM.Net)
+	cfg := sp.Cfg
+	th, tw := cfg.TilesH(), cfg.TilesW()
+	workers := cores - 1
+	if workers < 1 {
+		workers = 1
+	}
+
+	owner := func(ti, tj int) int { return sp.Dist(ti, tj, th, tw, nodes) }
+	tileAt := make([][]*swTile, th)
+	for i := range tileAt {
+		tileAt[i] = make([]*swTile, tw)
+	}
+
+	readyQ := make([]*sim.Queue[*swTile], nodes)
+	commQ := make([]*sim.Queue[func(p *sim.Proc)], nodes)
+	for r := 0; r < nodes; r++ {
+		readyQ[r] = sim.NewQueue[*swTile](k)
+		commQ[r] = sim.NewQueue[func(p *sim.Proc)](k)
+	}
+
+	for ti := 0; ti < th; ti++ {
+		for tj := 0; tj < tw; tj++ {
+			i0, i1, j0, j1 := cfg.TileSpan(ti, tj)
+			t := &swTile{ti: ti, tj: tj,
+				compute: time.Duration(int64(i1-i0) * int64(j1-j0) * int64(sp.CellCost))}
+			if ti > 0 {
+				t.deps++
+			}
+			if tj > 0 {
+				t.deps++
+			}
+			if ti > 0 && tj > 0 {
+				t.deps++
+			}
+			tileAt[ti][tj] = t
+			if t.deps == 0 {
+				readyQ[owner(ti, tj)].Push(t)
+			}
+		}
+	}
+
+	// satisfy delivers one input edge to a tile at its owner.
+	var satisfy func(ti, tj int)
+	satisfy = func(ti, tj int) {
+		t := tileAt[ti][tj]
+		t.deps--
+		if t.deps == 0 && !t.ready {
+			t.ready = true
+			readyQ[owner(ti, tj)].Push(t)
+		}
+	}
+
+	// publish sends a completed tile's edges to each consumer: local
+	// consumers see them immediately; remote ones after the comm worker
+	// ships them.
+	publish := func(p *sim.Proc, me int, t *swTile) {
+		type edge struct {
+			ci, cj int
+			bytes  int
+		}
+		i0, i1, j0, j1 := cfg.TileSpan(t.ti, t.tj)
+		var outs []edge
+		if t.ti+1 < th {
+			outs = append(outs, edge{t.ti + 1, t.tj, (j1 - j0) * 4})
+		}
+		if t.tj+1 < tw {
+			outs = append(outs, edge{t.ti, t.tj + 1, (i1 - i0) * 4})
+		}
+		if t.ti+1 < th && t.tj+1 < tw {
+			outs = append(outs, edge{t.ti + 1, t.tj + 1, 4})
+		}
+		for _, e := range outs {
+			dst := owner(e.ci, e.cj)
+			if dst == me {
+				satisfy(e.ci, e.cj)
+				continue
+			}
+			e := e
+			// Enqueue to the comm worker: it pays dispatch+send cost,
+			// then the network delivers to the remote owner.
+			p.Wait(sp.CM.EnqueueCost)
+			commQ[me].Push(func(cp *sim.Proc) {
+				cp.Wait(sp.CM.DispatchCost)
+				nt.Send(me, dst, e.bytes, func() { satisfy(e.ci, e.cj) })
+			})
+		}
+	}
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		k.Go("comm", func(p *sim.Proc) {
+			for {
+				f := commQ[r].Pop(p)
+				if f == nil {
+					return
+				}
+				f(p)
+			}
+		})
+		// The hierarchical tiling makes one outer tile internally
+		// parallel across the team (inner tiles, Fig. 23), so the node
+		// behaves like a server of rate `workers`: each ready outer tile
+		// takes compute/workers, and extra ready tiles queue — which is
+		// why Table IV's per-core scaling tracks the worker count.
+		k.Go("team", func(p *sim.Proc) {
+			for {
+				t := readyQ[r].Pop(p)
+				if t == nil {
+					return
+				}
+				innerTasks := 32 * 32 // the paper's 32×32 inner grid
+				overhead := time.Duration(innerTasks/workers) * sp.CM.TaskSpawn
+				p.Wait(t.compute/time.Duration(workers) + overhead)
+				t.done = true
+				publish(p, r, t)
+			}
+		})
+	}
+
+	return k.Run(0)
+}
+
+// SWRunHybrid simulates the MPI+OpenMP version: per node, every
+// anti-diagonal is a fork-join region over `cores` threads with an
+// implicit barrier, and boundary edges move only after the region ends.
+func SWRunHybrid(nodes, cores int, sp SWParams) time.Duration {
+	k := sim.NewKernel(4)
+	nt := sim.NewNet(k, nodes, nil, sp.CM.Net)
+	cfg := sp.Cfg
+	th, tw := cfg.TilesH(), cfg.TilesW()
+	owner := func(ti, tj int) int { return sp.Dist(ti, tj, th, tw, nodes) }
+	diags := th + tw - 1
+
+	// Per node and diagonal: how many input edges must arrive from remote
+	// producers before the region can start, and an event firing when
+	// they have.
+	needed := make([][]int, nodes)
+	arrived := make([][]int, nodes)
+	gate := make([][]*sim.Event, nodes)
+	for r := 0; r < nodes; r++ {
+		needed[r] = make([]int, diags)
+		arrived[r] = make([]int, diags)
+		gate[r] = make([]*sim.Event, diags)
+		for d := range gate[r] {
+			gate[r][d] = sim.NewEvent(k)
+		}
+	}
+	tilesOf := make([][][]*swTile, nodes)
+	for r := range tilesOf {
+		tilesOf[r] = make([][]*swTile, diags)
+	}
+	for ti := 0; ti < th; ti++ {
+		for tj := 0; tj < tw; tj++ {
+			d := ti + tj
+			r := owner(ti, tj)
+			i0, i1, j0, j1 := cfg.TileSpan(ti, tj)
+			t := &swTile{ti: ti, tj: tj, compute: time.Duration(int64(i1-i0) * int64(j1-j0) * int64(sp.CellCost))}
+			tilesOf[r][d] = append(tilesOf[r][d], t)
+			// Count remote inputs.
+			if ti > 0 && owner(ti-1, tj) != r {
+				needed[r][d]++
+			}
+			if tj > 0 && owner(ti, tj-1) != r {
+				needed[r][d]++
+			}
+			if ti > 0 && tj > 0 && owner(ti-1, tj-1) != r {
+				needed[r][d]++
+			}
+		}
+	}
+
+	deliver := func(r, d int) {
+		arrived[r][d]++
+		if arrived[r][d] >= needed[r][d] {
+			gate[r][d].Fire()
+		}
+	}
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		k.Go("node", func(p *sim.Proc) {
+			for d := 0; d < diags; d++ {
+				mine := tilesOf[r][d]
+				if len(mine) == 0 {
+					continue
+				}
+				// Wait for remote inputs of this diagonal. (The kernel
+				// is single-threaded, so check-then-wait cannot race.)
+				if needed[r][d] > 0 && arrived[r][d] < needed[r][d] {
+					gate[r][d].Wait(p)
+				}
+				// Fork-join region: cores threads over my tiles.
+				var total time.Duration
+				for _, t := range mine {
+					total += t.compute
+				}
+				span := longestTile(mine)
+				per := total / time.Duration(cores)
+				if per < span {
+					per = span
+				}
+				p.Wait(per + ompBarrierCost(sp.CM, cores))
+				// Staged communication after the region.
+				for _, t := range mine {
+					i0, i1, j0, j1 := cfg.TileSpan(t.ti, t.tj)
+					type out struct {
+						ci, cj, bytes int
+					}
+					outs := []out{}
+					if t.ti+1 < th {
+						outs = append(outs, out{t.ti + 1, t.tj, (j1 - j0) * 4})
+					}
+					if t.tj+1 < tw {
+						outs = append(outs, out{t.ti, t.tj + 1, (i1 - i0) * 4})
+					}
+					if t.ti+1 < th && t.tj+1 < tw {
+						outs = append(outs, out{t.ti + 1, t.tj + 1, 4})
+					}
+					for _, o := range outs {
+						dst := owner(o.ci, o.cj)
+						if dst == r {
+							continue
+						}
+						o := o
+						p.Wait(sp.CM.MPI.CallOverhead)
+						cd := o.ci + o.cj
+						nt.Send(r, dst, o.bytes, func() { deliver(dst, cd) })
+					}
+				}
+			}
+		})
+	}
+	return k.Run(0)
+}
+
+func longestTile(ts []*swTile) time.Duration {
+	var m time.Duration
+	for _, t := range ts {
+		if t.compute > m {
+			m = t.compute
+		}
+	}
+	return m
+}

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSWDDDFScalesWithNodes(t *testing.T) {
+	sp := DefaultSWParams()
+	t8 := SWRunDDDF(8, 4, sp)
+	t16 := SWRunDDDF(16, 4, sp)
+	t64 := SWRunDDDF(64, 4, sp)
+	// Table IV: doubling nodes gives 1.7-2x until slackness runs out.
+	r1 := float64(t8) / float64(t16)
+	r2 := float64(t16) / float64(t64) // 4x nodes
+	if r1 < 1.4 || r1 > 2.2 {
+		t.Errorf("8->16 nodes speedup %.2f outside [1.4,2.2] (%v -> %v)", r1, t8, t16)
+	}
+	if r2 < 2.0 {
+		t.Errorf("16->64 nodes speedup %.2f too low", r2)
+	}
+}
+
+func TestSWDDDFScalesWithCores(t *testing.T) {
+	sp := DefaultSWParams()
+	c2 := SWRunDDDF(8, 2, sp)
+	c8 := SWRunDDDF(8, 8, sp)
+	c12 := SWRunDDDF(8, 12, sp)
+	// Table IV row nodes=8: 2→8 cores gives 5.2-6.6x (1 worker → 7).
+	r := float64(c2) / float64(c8)
+	if r < 4.5 || r > 8 {
+		t.Errorf("2->8 cores speedup %.2f outside [4.5,8]", r)
+	}
+	if !(c12 < c8) {
+		t.Errorf("12 cores (%v) not faster than 8 (%v)", c12, c8)
+	}
+}
+
+func TestSWTableIVMagnitude(t *testing.T) {
+	// Calibration sanity: nodes=8, cores=2 should land near the paper's
+	// 1955 seconds (we accept ±40%: the simulator has no cache effects).
+	sp := DefaultSWParams()
+	got := SWRunDDDF(8, 2, sp)
+	lo, hi := 1170*time.Second, 2750*time.Second
+	if got < lo || got > hi {
+		t.Errorf("8x2 makespan %v outside [%v, %v] (paper: 1955s)", got, lo, hi)
+	}
+}
+
+func TestSWFig25Crossover(t *testing.T) {
+	sp := Fig25SWParams()
+	spH := sp
+	spH.Cfg.OuterH, spH.Cfg.OuterW = 5800, 6000 // hybrid's preferred tiling
+
+	// 2 cores/node: HCMPI sacrifices its only extra core to communication
+	// and loses ~2x (paper: speedup 0.5).
+	d2 := SWRunDDDF(4, 2, sp)
+	h2 := SWRunHybrid(4, 2, spH)
+	if ratio := float64(h2) / float64(d2); !(ratio < 0.8) {
+		t.Errorf("2 cores/node: hybrid/DDDF time ratio %.2f, want < 0.8 (hybrid wins)", ratio)
+	}
+	// 12 cores/node: DDDF wins (paper: speedup 1.45-1.68).
+	d12 := SWRunDDDF(4, 12, sp)
+	h12 := SWRunHybrid(4, 12, spH)
+	if ratio := float64(h12) / float64(d12); !(ratio > 1.05) {
+		t.Errorf("12 cores/node: hybrid/DDDF time ratio %.2f, want > 1.05 (DDDF wins)", ratio)
+	}
+}
+
+func TestSWDeterministic(t *testing.T) {
+	sp := Fig25SWParams()
+	a := SWRunDDDF(2, 4, sp)
+	b := SWRunDDDF(2, 4, sp)
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

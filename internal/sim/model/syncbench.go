@@ -1,0 +1,246 @@
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/sim"
+)
+
+// EPCC syncbench (Table II): the cost of one global barrier / reduction
+// at (nodes × cores) for five systems:
+//
+//	MPI          — one rank per core; MPI_Barrier / MPI_Allreduce over
+//	               nodes*cores ranks.
+//	MPI+OMP (S)  — strict hybrid: OpenMP barrier, MPI_Barrier by thread 0,
+//	               OpenMP barrier.
+//	MPI+OMP (F)  — fuzzy hybrid: thread 0 calls MPI_Barrier while the
+//	               others head to the closing OpenMP barrier.
+//	HCMPI (S)    — strict hcmpi-phaser: phaser gather, then MPI_Barrier
+//	               over nodes ranks via the comm worker, then release.
+//	HCMPI (F)    — fuzzy hcmpi-phaser: MPI_Barrier kicked off at the first
+//	               local arrival, overlapping the phaser gather.
+//
+// Reductions replace the barrier with Allreduce and the phaser with the
+// accumulator. Times are per-operation averages over iterations.
+
+// SyncKind selects barrier or reduction.
+type SyncKind int
+
+const (
+	// Barrier measures MPI_Barrier-equivalent synchronizations.
+	Barrier SyncKind = iota
+	// Reduction measures MPI_Allreduce-equivalent reductions.
+	Reduction
+)
+
+// SyncSystem enumerates Table II's rows.
+type SyncSystem int
+
+const (
+	// SyncMPI is "MPI Barrier"/"MPI Reduction".
+	SyncMPI SyncSystem = iota
+	// SyncHybridStrict is "MPI+OMP Barrier (S)" / "MPI+OMP Reduction".
+	SyncHybridStrict
+	// SyncHybridFuzzy is "MPI+OMP Barrier (F)".
+	SyncHybridFuzzy
+	// SyncHCMPIStrict is "HCMPI Phaser (S)".
+	SyncHCMPIStrict
+	// SyncHCMPIFuzzy is "HCMPI Phaser (F)" / "HCMPI Accumulator".
+	SyncHCMPIFuzzy
+)
+
+const syncIters = 20
+
+// SyncBench returns the modelled cost of one operation in microseconds.
+func SyncBench(sys SyncSystem, kind SyncKind, nodes, cores int, cm CostModel) float64 {
+	switch sys {
+	case SyncMPI:
+		return syncMPI(kind, nodes, cores, cm)
+	case SyncHybridStrict:
+		return syncHybrid(kind, nodes, cores, cm, true)
+	case SyncHybridFuzzy:
+		return syncHybrid(kind, nodes, cores, cm, false)
+	case SyncHCMPIStrict:
+		return syncHCMPI(kind, nodes, cores, cm, true)
+	case SyncHCMPIFuzzy:
+		return syncHCMPI(kind, nodes, cores, cm, false)
+	}
+	return 0
+}
+
+// syncMPI: nodes*cores single-threaded ranks; cores ranks share a node
+// (intra-node links are cheap but the dissemination spans all ranks).
+func syncMPI(kind SyncKind, nodes, cores int, cm CostModel) float64 {
+	k := sim.NewKernel(11)
+	n := nodes * cores
+	nt := sim.NewNet(k, n, func(r int) int { return r / cores }, cm.Net)
+	eps := sim.NewWorld(k, nt, n, cm.MPI)
+	for r := 0; r < n; r++ {
+		r := r
+		k.Go("rank", func(p *sim.Proc) {
+			for it := 0; it < syncIters; it++ {
+				jitter(p, cm)
+				if kind == Barrier {
+					eps[r].Barrier(p)
+				} else {
+					eps[r].Allreduce(p, 8, 1, nil)
+				}
+			}
+		})
+	}
+	total := k.Run(0)
+	return usPerOp(total)
+}
+
+// jitter models loop-body arrival skew at the synchronization point.
+func jitter(p *sim.Proc, cm CostModel) {
+	if cm.ArrivalJitter <= 0 {
+		return
+	}
+	p.Wait(time.Duration(p.Kernel().Rng().Int63n(int64(cm.ArrivalJitter))))
+}
+
+// ompBarrierCost is the intra-node OpenMP barrier cost for a team size.
+func ompBarrierCost(cm CostModel, cores int) time.Duration {
+	return time.Duration(treeDepth(cores)) * cm.OmpBarrier
+}
+
+// syncHybrid: one rank per node; cores OpenMP threads synchronize
+// locally, thread 0 performs the MPI operation.
+func syncHybrid(kind SyncKind, nodes, cores int, cm CostModel, strict bool) float64 {
+	k := sim.NewKernel(12)
+	nt := sim.NewNet(k, nodes, nil, cm.Net)
+	eps := sim.NewWorld(k, nt, nodes, cm.MPI)
+	for r := 0; r < nodes; r++ {
+		r := r
+		entry := sim.NewBarrier(k, cores)
+		exit := sim.NewBarrier(k, cores)
+		for t := 0; t < cores; t++ {
+			t := t
+			k.Go("thr", func(p *sim.Proc) {
+				for it := 0; it < syncIters; it++ {
+					jitter(p, cm)
+					if kind == Reduction || strict {
+						// Strict (and the reduction's combining loop):
+						// a full OpenMP barrier before the MPI call.
+						p.Wait(ompBarrierCost(cm, cores))
+						entry.Wait(p)
+					}
+					if t == 0 {
+						if kind == Barrier {
+							eps[r].Barrier(p)
+						} else {
+							eps[r].Allreduce(p, 8, 1, nil)
+						}
+					}
+					p.Wait(ompBarrierCost(cm, cores))
+					exit.Wait(p)
+				}
+			})
+		}
+	}
+	total := k.Run(0)
+	return usPerOp(total)
+}
+
+// SyncBenchPhaser measures one barrier with an explicit phaser topology:
+// tree (signals aggregate along a degree-2 tree, latency ∝ log cores) or
+// flat (the master consumes every signal serially, latency ∝ cores).
+// This is the paper's §III-A claim — "tree based phasers have been shown
+// to scale much better than flat phasers" — as an ablation.
+func SyncBenchPhaser(nodes, cores int, cm CostModel, flat bool) float64 {
+	return syncHCMPIWithHops(Barrier, nodes, cores, cm, false, phaserHops(cores, flat))
+}
+
+// phaserHops is the aggregation latency in units of PhaserHop.
+func phaserHops(cores int, flat bool) int {
+	if flat {
+		return cores
+	}
+	return treeDepth(cores)
+}
+
+// syncHCMPI: one HCMPI process per node with cores tasks on an
+// hcmpi-phaser; the communication worker runs the inter-node operation
+// over nodes ranks.
+func syncHCMPI(kind SyncKind, nodes, cores int, cm CostModel, strict bool) float64 {
+	return syncHCMPIWithHops(kind, nodes, cores, cm, strict, treeDepth(cores))
+}
+
+func syncHCMPIWithHops(kind SyncKind, nodes, cores int, cm CostModel, strict bool, hops int) float64 {
+	k := sim.NewKernel(13)
+	nt := sim.NewNet(k, nodes, nil, cm.Net)
+	eps := sim.NewWorld(k, nt, nodes, cm.MPI)
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		// The comm worker executes queued inter-node operations.
+		type collOp struct{ done *sim.Event }
+		work := sim.NewQueue[collOp](k)
+		k.Go("commworker", func(p *sim.Proc) {
+			for it := 0; it < syncIters; it++ {
+				op := work.Pop(p)
+				p.Wait(cm.CollDispatch)
+				if kind == Barrier {
+					eps[r].Barrier(p)
+				} else {
+					eps[r].Allreduce(p, 8, 1, nil)
+				}
+				op.done.Fire()
+			}
+		})
+
+		// Phaser state shared by this node's tasks.
+		arrive := sim.NewBarrier(k, cores)
+		release := sim.NewBarrier(k, cores)
+		for t := 0; t < cores; t++ {
+			t := t
+			k.Go("task", func(p *sim.Proc) {
+				for it := 0; it < syncIters; it++ {
+					jitter(p, cm)
+					// Signal: climb the phaser tree.
+					p.Wait(time.Duration(hops) * cm.PhaserHop)
+					var done *sim.Event
+					if !strict && t == 0 {
+						// Fuzzy: the first arrival enqueues the MPI
+						// operation immediately, overlapping it with the
+						// remaining local signals.
+						done = sim.NewEvent(k)
+						p.Wait(cm.CollEnqueue)
+						work.Push(collOp{done: done})
+					}
+					arrive.Wait(p)
+					if strict && t == 0 {
+						done = sim.NewEvent(k)
+						p.Wait(cm.CollEnqueue)
+						work.Push(collOp{done: done})
+					}
+					if t == 0 {
+						done.Wait(p)
+					}
+					// Master releases the tree; everyone descends.
+					release.Wait(p)
+					p.Wait(time.Duration(hops) * cm.PhaserHop)
+				}
+			})
+		}
+	}
+	total := k.Run(0)
+	return usPerOp(total)
+}
+
+// treeDepth is the phaser tree height for n registrations (degree 2).
+func treeDepth(n int) int {
+	d := 0
+	for v := 1; v < n; v <<= 1 {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+func usPerOp(total time.Duration) float64 {
+	return float64(total.Nanoseconds()) / float64(syncIters) / 1e3
+}

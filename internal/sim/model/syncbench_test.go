@@ -1,0 +1,100 @@
+package model
+
+import "testing"
+
+func TestSyncBenchTable2Shape(t *testing.T) {
+	cm := DefaultCosts()
+	type cell struct{ nodes, cores int }
+	grid := []cell{{2, 2}, {2, 8}, {8, 8}, {16, 4}, {64, 8}}
+	for _, c := range grid {
+		mpi := SyncBench(SyncMPI, Barrier, c.nodes, c.cores, cm)
+		hybS := SyncBench(SyncHybridStrict, Barrier, c.nodes, c.cores, cm)
+		hcS := SyncBench(SyncHCMPIStrict, Barrier, c.nodes, c.cores, cm)
+		hcF := SyncBench(SyncHCMPIFuzzy, Barrier, c.nodes, c.cores, cm)
+
+		// Paper: "hybrid MPI+OpenMP outperforms MPI while HCMPI
+		// outperforms both" — at 8 cores per node.
+		if c.cores >= 8 {
+			if !(hybS < mpi) {
+				t.Errorf("%+v: hybrid (%.1f) not faster than MPI (%.1f)", c, hybS, mpi)
+			}
+			if !(hcS < hybS) {
+				t.Errorf("%+v: HCMPI strict (%.1f) not faster than hybrid (%.1f)", c, hcS, hybS)
+			}
+		}
+		// Fuzzy is never slower than strict.
+		if hcF > hcS*1.05 {
+			t.Errorf("%+v: fuzzy (%.1f) slower than strict (%.1f)", c, hcF, hcS)
+		}
+	}
+
+	// "MPI and hybrid times increase at a faster rate compared to HCMPI
+	// with increasing number of cores per node."
+	mpiGrow := SyncBench(SyncMPI, Barrier, 8, 8, cm) - SyncBench(SyncMPI, Barrier, 8, 2, cm)
+	hcGrow := SyncBench(SyncHCMPIFuzzy, Barrier, 8, 8, cm) - SyncBench(SyncHCMPIFuzzy, Barrier, 8, 2, cm)
+	if !(hcGrow < mpiGrow) {
+		t.Errorf("per-core growth: MPI %.2fµs vs HCMPI %.2fµs", mpiGrow, hcGrow)
+	}
+}
+
+func TestSyncBenchReductionShape(t *testing.T) {
+	cm := DefaultCosts()
+	for _, c := range []struct{ nodes, cores int }{{4, 8}, {32, 8}} {
+		mpi := SyncBench(SyncMPI, Reduction, c.nodes, c.cores, cm)
+		hyb := SyncBench(SyncHybridStrict, Reduction, c.nodes, c.cores, cm)
+		acc := SyncBench(SyncHCMPIFuzzy, Reduction, c.nodes, c.cores, cm)
+		if !(hyb < mpi && acc < hyb) {
+			t.Errorf("%+v: reduction ordering violated: MPI %.1f, hybrid %.1f, accumulator %.1f", c, mpi, hyb, acc)
+		}
+	}
+}
+
+func TestSyncBenchGrowsWithNodes(t *testing.T) {
+	cm := DefaultCosts()
+	small := SyncBench(SyncMPI, Barrier, 2, 4, cm)
+	big := SyncBench(SyncMPI, Barrier, 64, 4, cm)
+	if !(big > small) {
+		t.Errorf("barrier cost did not grow with nodes: %f vs %f", small, big)
+	}
+}
+
+func TestPhaserTreeBeatsFlatAtScale(t *testing.T) {
+	cm := DefaultCosts()
+	flat64 := SyncBenchPhaser(4, 64, cm, true)
+	tree64 := SyncBenchPhaser(4, 64, cm, false)
+	if !(tree64 < flat64) {
+		t.Errorf("64 tasks: tree %.1fµs not faster than flat %.1fµs", tree64, flat64)
+	}
+	// The gap grows with task count.
+	gapSmall := SyncBenchPhaser(4, 4, cm, true) - SyncBenchPhaser(4, 4, cm, false)
+	gapBig := flat64 - tree64
+	if !(gapBig > gapSmall) {
+		t.Errorf("flat/tree gap did not grow: %.2f -> %.2f", gapSmall, gapBig)
+	}
+}
+
+// TestTable2FullGridOrdering sweeps the entire published grid and checks
+// the orderings the paper's Table II supports at every cell with 8
+// cores/node (where all its claims apply).
+func TestTable2FullGridOrdering(t *testing.T) {
+	cm := DefaultCosts()
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		mpi := SyncBench(SyncMPI, Barrier, n, 8, cm)
+		hybS := SyncBench(SyncHybridStrict, Barrier, n, 8, cm)
+		hybF := SyncBench(SyncHybridFuzzy, Barrier, n, 8, cm)
+		hcS := SyncBench(SyncHCMPIStrict, Barrier, n, 8, cm)
+		hcF := SyncBench(SyncHCMPIFuzzy, Barrier, n, 8, cm)
+		if !(hybS < mpi && hcS < hybS) {
+			t.Errorf("n=%d strict ordering: MPI %.1f hyb %.1f hc %.1f", n, mpi, hybS, hcS)
+		}
+		if hcF > hcS*1.05 || hybF > hybS*1.05 {
+			t.Errorf("n=%d fuzzy regression: hcF %.1f hcS %.1f hybF %.1f hybS %.1f", n, hcF, hcS, hybF, hybS)
+		}
+		rm := SyncBench(SyncMPI, Reduction, n, 8, cm)
+		rh := SyncBench(SyncHybridStrict, Reduction, n, 8, cm)
+		ra := SyncBench(SyncHCMPIFuzzy, Reduction, n, 8, cm)
+		if !(ra < rh && rh < rm) {
+			t.Errorf("n=%d reduction ordering: MPI %.1f hyb %.1f accum %.1f", n, rm, rh, ra)
+		}
+	}
+}

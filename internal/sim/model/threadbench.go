@@ -1,0 +1,327 @@
+// Package model contains the discrete-event models that regenerate the
+// paper's evaluation: the ANL multithreaded-MPI micro-benchmarks
+// (Figs. 14–15), EPCC syncbench (Table II), UTS at cluster scale
+// (Figs. 16–22, Table III), and tiled Smith-Waterman (Figs. 24–25,
+// Table IV). Each model exists in the system variants the paper compares:
+// plain MPI ("MPI everywhere"), hybrid MPI+OpenMP, and HCMPI with its
+// dedicated communication worker.
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/netsim"
+	"hcmpi/internal/sim"
+)
+
+// CostModel collects the calibration constants shared by the models. The
+// defaults are tuned to land in the magnitude range of the paper's
+// DAVinCI (MVAPICH2/InfiniBand) measurements; Gemini presets differ only
+// in the network parameters.
+type CostModel struct {
+	Net netsim.Params
+	MPI sim.MPIParams
+
+	// HCMPI runtime costs. Point-to-point comm tasks carry the request
+	// DDF machinery (allocation, status put, continuation release) and
+	// are much heavier than the pre-allocated collective tasks the
+	// phaser hooks enqueue.
+	EnqueueCost  time.Duration // computation worker: create+enqueue a p2p comm task
+	DispatchCost time.Duration // communication worker: dispatch one p2p comm task
+	CollEnqueue  time.Duration // phaser hook: enqueue a collective comm task
+	CollDispatch time.Duration // communication worker: dispatch a collective
+	// Intra-node task/synchronization costs.
+	PhaserHop   time.Duration // one signal hop in the phaser tree
+	TaskSpawn   time.Duration // async task creation
+	SharedSteal time.Duration // intra-node deque steal
+	OmpBarrier  time.Duration // OpenMP barrier cost factor (× log2 cores)
+	// ArrivalJitter spreads task arrivals at synchronization points
+	// (loop-body skew); it is what fuzzy barriers overlap with the
+	// inter-node operation.
+	ArrivalJitter time.Duration
+}
+
+// DefaultCosts is the DAVinCI-like calibration.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Net: netsim.InfiniBandQDR,
+		MPI: sim.MPIParams{
+			CallOverhead:   250 * time.Nanosecond,
+			LockHold:       300 * time.Nanosecond,
+			ThreadMultiple: false,
+		},
+		EnqueueCost:   1200 * time.Nanosecond,
+		DispatchCost:  1200 * time.Nanosecond,
+		CollEnqueue:   250 * time.Nanosecond,
+		CollDispatch:  150 * time.Nanosecond,
+		PhaserHop:     90 * time.Nanosecond,
+		TaskSpawn:     120 * time.Nanosecond,
+		SharedSteal:   250 * time.Nanosecond,
+		OmpBarrier:    350 * time.Nanosecond,
+		ArrivalJitter: 1500 * time.Nanosecond,
+	}
+}
+
+// GeminiCosts swaps in the Jaguar-like interconnect.
+func GeminiCosts() CostModel {
+	c := DefaultCosts()
+	c.Net = netsim.GeminiXK6
+	return c
+}
+
+// LockCongestion scales the thread-multiple critical section with the
+// number of parties contending for the lock, modelling the cache-line
+// and futex traffic that made 2012-era multithreaded MPI collapse under
+// concurrency (the synchronization cost the paper's §IV-A measures).
+const LockCongestion = 2.0
+
+// mtEnter models a thread-multiple MPI call with congestion: the critical
+// section stretches as contention grows.
+func mtEnter(p *sim.Proc, lock *sim.Resource, mp sim.MPIParams) {
+	if mp.CallOverhead > 0 {
+		p.Wait(mp.CallOverhead)
+	}
+	q := lock.Contention()
+	lock.Acquire(p)
+	hold := time.Duration(float64(mp.LockHold) * (1 + LockCongestion*float64(q)))
+	if hold > 0 {
+		p.Wait(hold)
+	}
+	lock.Release()
+}
+
+// --- the ANL thread micro-benchmark suite (Thakur & Gropp) ---
+
+// ThreadBench runs the three micro-benchmarks for one system at a given
+// thread count and returns (bandwidth Gbit/s, message rate Mmsg/s,
+// latency per size).
+type ThreadBenchResult struct {
+	BandwidthGbps float64
+	MsgRateM      float64
+	LatencyUS     map[int]float64
+}
+
+const (
+	bwMsgSize  = 8 << 20 // 8 MB, as in the paper
+	bwMsgs     = 16
+	rateMsgs   = 2000
+	rateWindow = 64
+	latIters   = 200
+)
+
+// LatencySizes are the abscissa of Fig. 14c/15c.
+var LatencySizes = []int{0, 64, 128, 192, 256, 512, 768, 1024}
+
+// ThreadBenchMPI models the multithreaded-MPI variant: T threads per
+// process calling MPI directly under MPI_THREAD_MULTIPLE.
+func ThreadBenchMPI(threads int, cm CostModel) ThreadBenchResult {
+	res := ThreadBenchResult{LatencyUS: map[int]float64{}}
+
+	// Bandwidth.
+	res.BandwidthGbps = runBW(threads, cm, true)
+	// Message rate.
+	res.MsgRateM = runRate(threads, cm, true)
+	// Latency.
+	for _, sz := range LatencySizes {
+		res.LatencyUS[sz] = runLatency(threads, sz, cm, true)
+	}
+	return res
+}
+
+// ThreadBenchHCMPI models the HCMPI variant: T computation workers
+// funneling communication tasks through one dedicated communication
+// worker per process, with MPI_THREAD_SINGLE endpoints.
+func ThreadBenchHCMPI(threads int, cm CostModel) ThreadBenchResult {
+	res := ThreadBenchResult{LatencyUS: map[int]float64{}}
+	res.BandwidthGbps = runBW(threads, cm, false)
+	res.MsgRateM = runRate(threads, cm, false)
+	for _, sz := range LatencySizes {
+		res.LatencyUS[sz] = runLatency(threads, sz, cm, false)
+	}
+	return res
+}
+
+// commNode wires either a direct thread-multiple endpoint or an
+// HCMPI-style communication worker in front of a thread-single endpoint.
+type commNode struct {
+	k     *sim.Kernel
+	ep    *sim.Endpoint
+	cm    CostModel
+	multi bool
+	lock  *sim.Resource // thread-multiple library lock
+
+	work *sim.Queue[commOp] // HCMPI worklist
+}
+
+type commOp struct {
+	isSend bool
+	peer   int
+	tag    int
+	size   int
+	resp   *sim.Queue[*sim.Req]
+}
+
+func newCommNode(k *sim.Kernel, ep *sim.Endpoint, cm CostModel, multi bool) *commNode {
+	n := &commNode{k: k, ep: ep, cm: cm, multi: multi}
+	if multi {
+		n.lock = sim.NewResource(k, 1)
+		return n
+	}
+	n.work = sim.NewQueue[commOp](k)
+	k.Go("commworker", func(p *sim.Proc) {
+		for {
+			op := n.work.Pop(p)
+			if op.tag < 0 { // shutdown
+				return
+			}
+			p.Wait(cm.DispatchCost)
+			var r *sim.Req
+			if op.isSend {
+				r = ep.Isend(p, op.peer, op.tag, op.size, nil)
+			} else {
+				r = ep.Irecv(p, sim.AnySource, op.tag)
+			}
+			op.resp.Push(r)
+		}
+	})
+	return n
+}
+
+func (n *commNode) stop() {
+	if n.work != nil {
+		n.work.Push(commOp{tag: -1})
+	}
+}
+
+// isend issues a non-blocking send as the given thread.
+func (n *commNode) isend(p *sim.Proc, peer, tag, size int) *sim.Req {
+	if n.multi {
+		mtEnter(p, n.lock, n.cm.MPI)
+		return n.ep.Isend(p, peer, tag, size, nil)
+	}
+	p.Wait(n.cm.EnqueueCost)
+	resp := sim.NewQueue[*sim.Req](n.k)
+	n.work.Push(commOp{isSend: true, peer: peer, tag: tag, size: size, resp: resp})
+	return resp.Pop(p)
+}
+
+// irecv posts a non-blocking receive as the given thread.
+func (n *commNode) irecv(p *sim.Proc, tag int) *sim.Req {
+	if n.multi {
+		mtEnter(p, n.lock, n.cm.MPI)
+		return n.ep.Irecv(p, sim.AnySource, tag)
+	}
+	p.Wait(n.cm.EnqueueCost)
+	resp := sim.NewQueue[*sim.Req](n.k)
+	n.work.Push(commOp{isSend: false, tag: tag, resp: resp})
+	return resp.Pop(p)
+}
+
+// buildPair constructs the two-process world the micro-benchmarks use.
+func buildPair(cm CostModel, multi bool) (*sim.Kernel, [2]*commNode) {
+	k := sim.NewKernel(7)
+	mp := cm.MPI
+	mp.ThreadMultiple = false // the entry lock is modelled in commNode
+	nt := sim.NewNet(k, 2, nil, cm.Net)
+	eps := sim.NewWorld(k, nt, 2, mp)
+	return k, [2]*commNode{
+		newCommNode(k, eps[0], cm, multi),
+		newCommNode(k, eps[1], cm, multi),
+	}
+}
+
+// runBW: every sender thread pushes bwMsgs 8MB messages; bandwidth is
+// total bytes over the virtual makespan.
+func runBW(threads int, cm CostModel, multi bool) float64 {
+	k, nodes := buildPair(cm, multi)
+	for t := 0; t < threads; t++ {
+		t := t
+		k.Go("send", func(p *sim.Proc) {
+			var last *sim.Req
+			for i := 0; i < bwMsgs; i++ {
+				last = nodes[0].isend(p, 1, t, bwMsgSize)
+			}
+			last.Wait(p)
+		})
+		k.Go("recv", func(p *sim.Proc) {
+			for i := 0; i < bwMsgs; i++ {
+				nodes[1].irecv(p, t).Wait(p)
+			}
+		})
+	}
+	dur := k.Run(0)
+	nodes[0].stop()
+	nodes[1].stop()
+	k.Run(0)
+	bits := float64(threads) * bwMsgs * bwMsgSize * 8
+	return bits / dur.Seconds() / 1e9
+}
+
+// runRate: windowed streams of empty messages; rate is million
+// messages/second aggregated over threads.
+func runRate(threads int, cm CostModel, multi bool) float64 {
+	k, nodes := buildPair(cm, multi)
+	perThread := rateMsgs
+	for t := 0; t < threads; t++ {
+		t := t
+		k.Go("send", func(p *sim.Proc) {
+			sent := 0
+			for sent < perThread {
+				w := rateWindow
+				if sent+w > perThread {
+					w = perThread - sent
+				}
+				var last *sim.Req
+				for i := 0; i < w; i++ {
+					last = nodes[0].isend(p, 1, t, 1)
+				}
+				last.Wait(p)
+				sent += w
+			}
+		})
+		k.Go("recv", func(p *sim.Proc) {
+			for i := 0; i < perThread; i++ {
+				nodes[1].irecv(p, t).Wait(p)
+			}
+		})
+	}
+	dur := k.Run(0)
+	nodes[0].stop()
+	nodes[1].stop()
+	k.Run(0)
+	return float64(threads*perThread) / dur.Seconds() / 1e6
+}
+
+// runLatency: per-thread ping-pong; reported value is the one-way latency
+// in microseconds, averaged over iterations and threads.
+func runLatency(threads, size int, cm CostModel, multi bool) float64 {
+	k, nodes := buildPair(cm, multi)
+	sz := size
+	if sz == 0 {
+		sz = 1
+	}
+	var totalRTT time.Duration
+	for t := 0; t < threads; t++ {
+		t := t
+		k.Go("ping", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < latIters; i++ {
+				nodes[0].isend(p, 1, t, sz).Wait(p)
+				nodes[0].irecv(p, t).Wait(p)
+			}
+			totalRTT += p.Now() - start
+		})
+		k.Go("pong", func(p *sim.Proc) {
+			for i := 0; i < latIters; i++ {
+				nodes[1].irecv(p, t).Wait(p)
+				nodes[1].isend(p, 0, t, sz).Wait(p)
+			}
+		})
+	}
+	k.Run(0)
+	nodes[0].stop()
+	nodes[1].stop()
+	k.Run(0)
+	avgRTT := totalRTT / time.Duration(threads*latIters)
+	return float64(avgRTT.Nanoseconds()) / 2 / 1e3
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestThreadBenchShapes(t *testing.T) {
+	cm := DefaultCosts()
+	mpi1 := ThreadBenchMPI(1, cm)
+	mpi8 := ThreadBenchMPI(8, cm)
+	hc1 := ThreadBenchHCMPI(1, cm)
+	hc8 := ThreadBenchHCMPI(8, cm)
+
+	// Fig 14a: bandwidth roughly equal for both systems at all thread
+	// counts (large transfers are pipe-bound).
+	for _, pair := range [][2]float64{{mpi1.BandwidthGbps, hc1.BandwidthGbps}, {mpi8.BandwidthGbps, hc8.BandwidthGbps}} {
+		ratio := pair[0] / pair[1]
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("bandwidths diverge: %v", pair)
+		}
+	}
+
+	// Fig 14b: MPI message rate collapses with threads; HCMPI does not.
+	if !(mpi8.MsgRateM < mpi1.MsgRateM/3) {
+		t.Errorf("MPI rate did not collapse: T1=%.3f T8=%.3f", mpi1.MsgRateM, mpi8.MsgRateM)
+	}
+	if hc8.MsgRateM < hc1.MsgRateM*0.8 {
+		t.Errorf("HCMPI rate collapsed: T1=%.3f T8=%.3f", hc1.MsgRateM, hc8.MsgRateM)
+	}
+	// Crossover: at 8 threads HCMPI beats multithreaded MPI.
+	if hc8.MsgRateM <= mpi8.MsgRateM {
+		t.Errorf("no crossover at T=8: MPI %.3f vs HCMPI %.3f", mpi8.MsgRateM, hc8.MsgRateM)
+	}
+	// At T=1 MPI wins (no funneling overhead).
+	if mpi1.MsgRateM <= hc1.MsgRateM {
+		t.Errorf("MPI T=1 should beat HCMPI T=1: %.3f vs %.3f", mpi1.MsgRateM, hc1.MsgRateM)
+	}
+
+	// Fig 14c: MPI latency grows steeply with threads; HCMPI latencies
+	// scale more gracefully.
+	mg := mpi8.LatencyUS[1024] / mpi1.LatencyUS[1024]
+	hg := hc8.LatencyUS[1024] / hc1.LatencyUS[1024]
+	if !(mg > hg) {
+		t.Errorf("latency growth MPI %.2fx vs HCMPI %.2fx", mg, hg)
+	}
+	// Latency increases with size.
+	if mpi1.LatencyUS[1024] <= mpi1.LatencyUS[0] {
+		t.Errorf("latency not increasing with size: %v", mpi1.LatencyUS)
+	}
+}
+
+func TestThreadBenchDeterministic(t *testing.T) {
+	cm := DefaultCosts()
+	a := ThreadBenchMPI(4, cm)
+	b := ThreadBenchMPI(4, cm)
+	if a.BandwidthGbps != b.BandwidthGbps || a.MsgRateM != b.MsgRateM {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGeminiPreset(t *testing.T) {
+	g := GeminiCosts()
+	if g.Net == DefaultCosts().Net {
+		t.Fatal("Gemini preset identical to default")
+	}
+	r := ThreadBenchMPI(1, g)
+	if r.BandwidthGbps <= 0 {
+		t.Fatal("no bandwidth measured")
+	}
+}

@@ -1,0 +1,321 @@
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/sim"
+	"hcmpi/internal/uts"
+)
+
+// UTS at cluster scale (Figs. 16–22, Table III). The tree is walked for
+// real (the imbalance comes from the actual branching process), while
+// time advances virtually: exploring n nodes costs n·NodeCost plus the
+// modelled polling overhead. Steal requests interrupt a victim's
+// exploration segment; the victim replays its walk to the polling
+// boundary where it would have noticed the request, answers, and
+// resumes. This keeps the event count proportional to messages, not tree
+// nodes.
+
+// UTSParams parameterize one simulated UTS run.
+type UTSParams struct {
+	Tree  uts.Config
+	Chunk int // -c
+	Poll  int // -i
+	// NodeCost is the per-tree-node exploration cost (the paper's Jaguar
+	// runs imply roughly 0.5–1µs per node for T1XXL).
+	NodeCost time.Duration
+	CM       CostModel
+	// SegmentBudget bounds one exploration segment (real-walk batch).
+	SegmentBudget int
+	Seed          int64
+}
+
+// DefaultUTSParams gives the paper's best-tuned knobs at laptop scale.
+func DefaultUTSParams(tree uts.Config) UTSParams {
+	return UTSParams{
+		Tree: tree, Chunk: 8, Poll: 4,
+		NodeCost:      500 * time.Nanosecond,
+		CM:            GeminiCosts(),
+		SegmentBudget: 50_000,
+		Seed:          1,
+	}
+}
+
+// UTSResult aggregates a run (all ranks).
+type UTSResult struct {
+	Makespan time.Duration
+	Nodes    int64
+	// Per-resource averages, Table III style.
+	AvgWork     time.Duration
+	AvgOverhead time.Duration
+	AvgSearch   time.Duration
+	Fails       int64
+	Steals      int64
+}
+
+// --- shared walking machinery ---
+
+// walkBudget explores up to budget nodes from stack, applying the
+// offload rule every pollEvery nodes when offload is non-nil: if the
+// stack holds at least 2·chunk nodes, the bottom chunk is removed and
+// reported with the node-index at which it became available. It returns
+// the new stack and the number of nodes explored.
+func walkBudget(cfg uts.Config, stack []uts.Node, budget, pollEvery, chunk int,
+	offload func(atNode int, nodes []uts.Node)) ([]uts.Node, int) {
+	n := 0
+	for n < budget && len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		k := cfg.NumChildren(nd)
+		for j := 0; j < k; j++ {
+			stack = append(stack, cfg.Child(nd, j))
+		}
+		if offload != nil && n%pollEvery == 0 && len(stack) >= 2*chunk {
+			c := make([]uts.Node, chunk)
+			copy(c, stack[:chunk])
+			stack = append(stack[:0], stack[chunk:]...)
+			offload(n, c)
+		}
+	}
+	return stack, n
+}
+
+// utsMsg is a protocol message.
+type utsMsg struct {
+	kind  int // 0 steal-req, 1 steal-resp, 2 token, 3 done, 4 local nudge
+	src   int
+	work  []uts.Node
+	color byte
+	q     int64
+}
+
+const (
+	muReq = iota
+	muResp
+	muToken
+	muDone
+	muNudge
+)
+
+// ---------------------------------------------------------------------
+// MPI model: nodes*cores single-threaded ranks, two-sided steals,
+// Safra termination.
+// ---------------------------------------------------------------------
+
+type utsMPIRank struct {
+	id    int
+	inbox *sim.Queue[utsMsg]
+	proc  *sim.Proc
+	// Safra state.
+	deficit    int64
+	color      byte
+	haveTok    bool
+	tokColor   byte
+	tokQ       int64
+	tokenRound bool
+	done       bool
+	// counters
+	nodes                  int64
+	work, overhead, search time.Duration
+	fails, steals          int64
+}
+
+// UTSRunMPI simulates the reference MPI work-stealing implementation.
+func UTSRunMPI(nodes, cores int, up UTSParams) UTSResult {
+	k := sim.NewKernel(up.Seed)
+	n := nodes * cores
+	nt := sim.NewNet(k, n, func(r int) int { return r / cores }, up.CM.Net)
+	ranks := make([]*utsMPIRank, n)
+	for r := 0; r < n; r++ {
+		ranks[r] = &utsMPIRank{id: r, inbox: sim.NewQueue[utsMsg](k)}
+	}
+	callCost := up.CM.MPI.CallOverhead
+	perNode := up.NodeCost + callCost/time.Duration(up.Poll)
+
+	send := func(p *sim.Proc, from, to int, m utsMsg, size int) {
+		p.Wait(callCost)
+		m.src = from
+		nt.Send(from, to, size, func() {
+			ranks[to].inbox.Push(m)
+			ranks[to].proc.Interrupt()
+		})
+	}
+
+	for r := 0; r < n; r++ {
+		r := r
+		rk := ranks[r]
+		rk.proc = k.Go("rank", func(p *sim.Proc) {
+			var stack []uts.Node
+			if r == 0 {
+				stack = append(stack, up.Tree.Root())
+				rk.haveTok = true
+				rk.tokColor = 0
+			}
+
+			answer := func(thief int) {
+				if len(stack) >= 2*up.Chunk {
+					c := make([]uts.Node, up.Chunk)
+					copy(c, stack[:up.Chunk])
+					stack = append(stack[:0], stack[up.Chunk:]...)
+					rk.deficit++
+					send(p, r, thief, utsMsg{kind: muResp, work: c}, up.Chunk*24)
+					return
+				}
+				send(p, r, thief, utsMsg{kind: muResp}, 1)
+			}
+
+			forwardToken := func() {
+				if !rk.haveTok || len(stack) > 0 || rk.done {
+					return
+				}
+				if r == 0 {
+					if rk.tokenRound && rk.tokColor == 0 && rk.color == 0 && rk.tokQ+rk.deficit == 0 {
+						for o := 1; o < n; o++ {
+							send(p, r, o, utsMsg{kind: muDone}, 1)
+						}
+						rk.done = true
+						return
+					}
+					rk.tokenRound = true
+					rk.color = 0
+					rk.haveTok = false
+					send(p, r, 1%n, utsMsg{kind: muToken, color: 0, q: 0}, 9)
+					return
+				}
+				out := rk.tokColor
+				if rk.color == 1 {
+					out = 1
+				}
+				rk.color = 0
+				rk.haveTok = false
+				send(p, r, (r+1)%n, utsMsg{kind: muToken, color: out, q: rk.tokQ + rk.deficit}, 9)
+			}
+
+			handle := func(m utsMsg) {
+				switch m.kind {
+				case muReq:
+					answer(m.src)
+				case muToken:
+					rk.haveTok = true
+					rk.tokColor = m.color
+					rk.tokQ = m.q
+				case muDone:
+					rk.done = true
+				}
+			}
+
+			for !rk.done {
+				if len(stack) > 0 {
+					// Busy: explore one interruptible segment.
+					budget := up.SegmentBudget
+					snapshot := append([]uts.Node(nil), stack...)
+					newStack, cnt := walkBudget(up.Tree, stack, budget, up.Poll, up.Chunk, nil)
+					dur := time.Duration(cnt) * perNode
+					t0 := p.Now()
+					elapsed, interrupted := p.WaitInterruptible(dur)
+					if !interrupted {
+						stack = newStack
+						rk.nodes += int64(cnt)
+						rk.work += time.Duration(cnt) * up.NodeCost
+						rk.overhead += elapsed - time.Duration(cnt)*up.NodeCost
+						continue
+					}
+					// Interrupted: replay to the next polling boundary.
+					m := int(elapsed / perNode)
+					mp := ((m / up.Poll) + 1) * up.Poll
+					if mp > cnt {
+						mp = cnt
+					}
+					stack, _ = walkBudget(up.Tree, snapshot, mp, up.Poll, up.Chunk, nil)
+					rk.nodes += int64(mp)
+					rk.work += time.Duration(mp) * up.NodeCost
+					// Advance to the boundary, then service everything.
+					if extra := time.Duration(mp)*perNode - elapsed; extra > 0 {
+						p.Wait(extra)
+					}
+					o0 := p.Now()
+					for {
+						m, ok := rk.inbox.TryPop()
+						if !ok {
+							break
+						}
+						p.Wait(callCost) // per-message receive processing
+						handle(m)
+					}
+					rk.overhead += p.Now() - o0
+					_ = t0
+					continue
+				}
+
+				// Idle: Safra token, then a two-sided steal.
+				s0 := p.Now()
+				forwardToken()
+				if rk.done {
+					break
+				}
+				if n == 1 {
+					rk.done = true
+					break
+				}
+				victim := k.Rng().Intn(n - 1)
+				if victim >= r {
+					victim++
+				}
+				send(p, r, victim, utsMsg{kind: muReq}, 1)
+				// Wait for the response, servicing whatever arrives.
+				// Every message costs receive-processing time: this is
+				// what makes steal storms toxic — termination tokens
+				// queue behind junk (the paper's reverse scaling).
+				waiting := true
+				for waiting && !rk.done {
+					m := rk.inbox.Pop(p)
+					p.Wait(callCost)
+					switch m.kind {
+					case muResp:
+						if len(m.work) > 0 {
+							rk.color = 1 // Safra receipt of work
+							rk.deficit--
+							stack = append(stack, m.work...)
+							rk.steals++
+						} else {
+							rk.fails++
+						}
+						waiting = false
+					default:
+						handle(m)
+						forwardToken()
+					}
+				}
+				rk.search += p.Now() - s0
+			}
+
+			// Drain rejects for stragglers.
+			for {
+				m, ok := rk.inbox.TryPop()
+				if !ok {
+					break
+				}
+				if m.kind == muReq {
+					send(p, r, m.src, utsMsg{kind: muResp}, 1)
+				}
+			}
+		})
+	}
+
+	makespan := k.Run(0)
+	res := UTSResult{Makespan: makespan}
+	var w, o, s time.Duration
+	for _, rk := range ranks {
+		res.Nodes += rk.nodes
+		w += rk.work
+		o += rk.overhead
+		s += rk.search
+		res.Fails += rk.fails
+		res.Steals += rk.steals
+	}
+	res.AvgWork = w / time.Duration(n)
+	res.AvgOverhead = o / time.Duration(n)
+	res.AvgSearch = s / time.Duration(n)
+	return res
+}

@@ -1,0 +1,239 @@
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/sim"
+	"hcmpi/internal/uts"
+)
+
+// HCMPI UTS model: one process per node with cores-1 computation workers
+// plus a dedicated communication worker. Workers explore with private
+// stacks and offload surplus chunks into a node-level pool (the shared
+// work-stealing deques); intra-node steals take from the pool without
+// disturbing anyone. The communication worker answers remote steal
+// requests from the pool immediately — busy computation workers are never
+// interrupted — and runs Safra termination at node granularity.
+
+type hcmpiNode struct {
+	id    int
+	pool  []poolChunk
+	cond  *sim.Cond // idle workers park here
+	inbox *sim.Queue[utsMsg]
+
+	idle        int
+	outstanding bool
+	done        bool
+
+	deficit    int64
+	color      byte
+	haveTok    bool
+	tokColor   byte
+	tokQ       int64
+	tokenRound bool
+
+	nodes                  int64
+	work, overhead, search time.Duration
+	fails, steals, local   int64
+}
+
+type poolChunk struct{ nodes []uts.Node }
+
+// UTSRunHCMPI simulates the HCMPI implementation. Of the `cores` cores
+// per node, one is the communication worker and cores-1 compute — the
+// same resource accounting the paper uses.
+func UTSRunHCMPI(nodes, cores int, up UTSParams) UTSResult {
+	k := sim.NewKernel(up.Seed)
+	nt := sim.NewNet(k, nodes, nil, up.CM.Net)
+	nds := make([]*hcmpiNode, nodes)
+	for r := 0; r < nodes; r++ {
+		nds[r] = &hcmpiNode{id: r, cond: sim.NewCond(k), inbox: sim.NewQueue[utsMsg](k)}
+	}
+	workers := cores - 1
+	if workers < 1 {
+		workers = 1
+	}
+	callCost := up.CM.MPI.CallOverhead
+	offloadCost := up.CM.SharedSteal // pushing a chunk to the shared deque
+
+	send := func(p *sim.Proc, from, to int, m utsMsg, size int) {
+		p.Wait(callCost)
+		m.src = from
+		nt.Send(from, to, size, func() { nds[to].inbox.Push(m) })
+	}
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		nd := nds[r]
+		if r == 0 {
+			nd.haveTok = true
+		}
+
+		quiescent := func() bool {
+			return nd.idle == workers && len(nd.pool) == 0
+		}
+
+		// Communication worker.
+		k.Go("commworker", func(p *sim.Proc) {
+			forwardToken := func() {
+				if !nd.haveTok || nd.done || !quiescent() {
+					return
+				}
+				if r == 0 {
+					if nd.tokenRound && nd.tokColor == 0 && nd.color == 0 && nd.tokQ+nd.deficit == 0 {
+						for o := 1; o < nodes; o++ {
+							send(p, r, o, utsMsg{kind: muDone}, 1)
+						}
+						nd.done = true
+						nd.cond.Broadcast()
+						return
+					}
+					nd.tokenRound = true
+					nd.color = 0
+					nd.haveTok = false
+					send(p, r, 1%nodes, utsMsg{kind: muToken, color: 0, q: 0}, 9)
+					return
+				}
+				out := nd.tokColor
+				if nd.color == 1 {
+					out = 1
+				}
+				nd.color = 0
+				nd.haveTok = false
+				send(p, r, (r+1)%nodes, utsMsg{kind: muToken, color: out, q: nd.tokQ + nd.deficit}, 9)
+			}
+
+			for !nd.done {
+				m := nd.inbox.Pop(p)
+				p.Wait(up.CM.CollDispatch) // listener handling
+				switch m.kind {
+				case muReq:
+					if len(nd.pool) > 0 {
+						c := nd.pool[0]
+						nd.pool = nd.pool[1:]
+						nd.deficit++
+						send(p, r, m.src, utsMsg{kind: muResp, work: c.nodes}, len(c.nodes)*24)
+					} else {
+						send(p, r, m.src, utsMsg{kind: muResp}, 1)
+					}
+				case muResp:
+					if len(m.work) > 0 {
+						nd.color = 1
+						nd.deficit--
+						nd.pool = append(nd.pool, poolChunk{nodes: m.work})
+						nd.steals++
+					} else {
+						nd.fails++
+					}
+					nd.outstanding = false
+					nd.cond.Broadcast()
+				case muToken:
+					nd.haveTok = true
+					nd.tokColor = m.color
+					nd.tokQ = m.q
+					forwardToken()
+				case muDone:
+					nd.done = true
+					nd.cond.Broadcast()
+				case muNudge:
+					if nodes == 1 {
+						if quiescent() {
+							nd.done = true
+							nd.cond.Broadcast()
+						}
+						continue
+					}
+					// One worker out of local work is enough to launch a
+					// global steal (paper §IV-B); token movement still
+					// requires full quiescence.
+					if !nd.outstanding && len(nd.pool) == 0 && !nd.done {
+						nd.outstanding = true
+						victim := k.Rng().Intn(nodes - 1)
+						if victim >= r {
+							victim++
+						}
+						send(p, r, victim, utsMsg{kind: muReq}, 1)
+					}
+					forwardToken()
+				}
+			}
+		})
+
+		// Computation workers.
+		for wID := 0; wID < workers; wID++ {
+			wID := wID
+			k.Go("worker", func(p *sim.Proc) {
+				var stack []uts.Node
+				if r == 0 && wID == 0 {
+					stack = append(stack, up.Tree.Root())
+				}
+				for !nd.done {
+					if len(stack) > 0 {
+						// Explore a segment; offloads become visible at
+						// the virtual times they happen.
+						segStart := p.Now()
+						var offs []struct {
+							at    int
+							chunk []uts.Node
+						}
+						newStack, cnt := walkBudget(up.Tree, stack, up.SegmentBudget, up.Poll, up.Chunk,
+							func(at int, c []uts.Node) {
+								offs = append(offs, struct {
+									at    int
+									chunk []uts.Node
+								}{at, c})
+							})
+						for _, o := range offs {
+							o := o
+							k.Schedule(time.Duration(o.at)*up.NodeCost-(p.Now()-segStart), func() {
+								nd.pool = append(nd.pool, poolChunk{nodes: o.chunk})
+								nd.cond.Broadcast()
+							})
+						}
+						dur := time.Duration(cnt)*up.NodeCost + time.Duration(len(offs))*offloadCost
+						p.Wait(dur)
+						stack = newStack
+						nd.nodes += int64(cnt)
+						nd.work += time.Duration(cnt) * up.NodeCost
+						nd.overhead += time.Duration(len(offs)) * offloadCost
+						continue
+					}
+					// Idle: intra-node steal from the pool, else trigger a
+					// global steal and park.
+					s0 := p.Now()
+					if len(nd.pool) > 0 {
+						c := nd.pool[len(nd.pool)-1]
+						nd.pool = nd.pool[:len(nd.pool)-1]
+						p.Wait(up.CM.SharedSteal)
+						stack = append(stack, c.nodes...)
+						nd.local++
+						nd.search += p.Now() - s0
+						continue
+					}
+					nd.idle++
+					nd.inbox.Push(utsMsg{kind: muNudge, src: r})
+					nd.cond.Wait(p)
+					nd.idle--
+					nd.search += p.Now() - s0
+				}
+			})
+		}
+	}
+
+	makespan := k.Run(0)
+	res := UTSResult{Makespan: makespan}
+	var w, o, s time.Duration
+	for _, nd := range nds {
+		res.Nodes += nd.nodes
+		w += nd.work
+		o += nd.overhead
+		s += nd.search
+		res.Fails += nd.fails
+		res.Steals += nd.steals
+	}
+	den := time.Duration(nodes * workers)
+	res.AvgWork = w / den
+	res.AvgOverhead = o / den
+	res.AvgSearch = s / den
+	return res
+}

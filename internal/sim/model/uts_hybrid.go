@@ -1,0 +1,297 @@
+package model
+
+import (
+	"time"
+
+	"hcmpi/internal/sim"
+	"hcmpi/internal/uts"
+)
+
+// Hybrid MPI+OpenMP UTS model (Fig. 22, improved variant): one rank per
+// node, `cores` compute threads sharing a pool (one more compute thread
+// than HCMPI, which spends a core on the communication worker). The
+// crucial structural differences from HCMPI:
+//
+//   - no dedicated communication worker: remote steal requests are
+//     noticed only when thread 0 reaches a polling boundary of its
+//     exploration (interruptible segments, like the MPI model), so
+//     victims respond late when the team is busy;
+//   - every MPI call pays the thread-multiple library cost;
+//   - a global steal goes out as soon as the first thread idles
+//     (the cancellable-barrier overlap).
+func UTSRunHybrid(nodes, cores int, up UTSParams) UTSResult {
+	return utsRunHybrid(nodes, cores, up, false)
+}
+
+// UTSRunHybridStaged models the paper's first, naive hybrid — compute
+// region until the pool drains, then a sequential MPI phase; no overlap,
+// no early steals, victims answer only between regions. The paper: it
+// "suffered terribly from thread idleness problems resulting in worse
+// performance than MPI".
+func UTSRunHybridStaged(nodes, cores int, up UTSParams) UTSResult {
+	return utsRunHybrid(nodes, cores, up, true)
+}
+
+func utsRunHybrid(nodes, cores int, up UTSParams, staged bool) UTSResult {
+	k := sim.NewKernel(up.Seed)
+	nt := sim.NewNet(k, nodes, nil, up.CM.Net)
+	nds := make([]*hcmpiNode, nodes)
+	for r := 0; r < nodes; r++ {
+		nds[r] = &hcmpiNode{id: r, cond: sim.NewCond(k), inbox: sim.NewQueue[utsMsg](k)}
+	}
+	// Thread-multiple call cost: base + congested lock hold (flat
+	// approximation: a couple of team threads contend on average).
+	mpiCall := up.CM.MPI.CallOverhead + time.Duration(float64(up.CM.MPI.LockHold)*(1+LockCongestion))
+	perNode := up.NodeCost + mpiCall/time.Duration(up.Poll) // thread 0 polls MPI
+
+	procs := make([][]*sim.Proc, nodes)
+
+	send := func(p *sim.Proc, from, to int, m utsMsg, size int) {
+		p.Wait(mpiCall)
+		m.src = from
+		nt.Send(from, to, size, func() {
+			nds[to].inbox.Push(m)
+			// Wake thread 0 if it is mid-segment; it services MPI.
+			if len(procs[to]) > 0 {
+				procs[to][0].Interrupt()
+			}
+		})
+	}
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		nd := nds[r]
+		if r == 0 {
+			nd.haveTok = true
+		}
+		procs[r] = make([]*sim.Proc, cores)
+
+		quiescent := func() bool { return nd.idle == cores && len(nd.pool) == 0 }
+
+		forwardToken := func(p *sim.Proc) {
+			if !nd.haveTok || nd.done || !quiescent() {
+				return
+			}
+			if r == 0 {
+				if nd.tokenRound && nd.tokColor == 0 && nd.color == 0 && nd.tokQ+nd.deficit == 0 {
+					for o := 1; o < nodes; o++ {
+						send(p, r, o, utsMsg{kind: muDone}, 1)
+					}
+					nd.done = true
+					nd.cond.Broadcast()
+					return
+				}
+				nd.tokenRound = true
+				nd.color = 0
+				nd.haveTok = false
+				send(p, r, 1%nodes, utsMsg{kind: muToken, color: 0, q: 0}, 9)
+				return
+			}
+			out := nd.tokColor
+			if nd.color == 1 {
+				out = 1
+			}
+			nd.color = 0
+			nd.haveTok = false
+			send(p, r, (r+1)%nodes, utsMsg{kind: muToken, color: out, q: nd.tokQ + nd.deficit}, 9)
+		}
+
+		handle := func(p *sim.Proc, m utsMsg) {
+			switch m.kind {
+			case muReq:
+				if len(nd.pool) > 1 { // keep one chunk for the team
+					c := nd.pool[0]
+					nd.pool = nd.pool[1:]
+					nd.deficit++
+					send(p, r, m.src, utsMsg{kind: muResp, work: c.nodes}, len(c.nodes)*24)
+				} else {
+					send(p, r, m.src, utsMsg{kind: muResp}, 1)
+				}
+			case muResp:
+				if len(m.work) > 0 {
+					nd.color = 1
+					nd.deficit--
+					nd.pool = append(nd.pool, poolChunk{nodes: m.work})
+					nd.steals++
+					nd.cond.Broadcast()
+				} else {
+					nd.fails++
+				}
+				nd.outstanding = false
+				nd.cond.Broadcast()
+			case muToken:
+				nd.haveTok = true
+				nd.tokColor = m.color
+				nd.tokQ = m.q
+			case muDone:
+				nd.done = true
+				nd.cond.Broadcast()
+			}
+		}
+
+		for tID := 0; tID < cores; tID++ {
+			tID := tID
+			procs[r][tID] = k.Go("thr", func(p *sim.Proc) {
+				isComm := tID == 0 && !staged // staged: MPI only between regions
+				var stack []uts.Node
+				if r == 0 && tID == 0 {
+					stack = append(stack, up.Tree.Root())
+				}
+				for !nd.done {
+					if len(stack) > 0 {
+						rate := up.NodeCost
+						if isComm {
+							rate = perNode
+						}
+						var offs []struct {
+							at    int
+							chunk []uts.Node
+						}
+						snapshot := append([]uts.Node(nil), stack...)
+						newStack, cnt := walkBudget(up.Tree, stack, up.SegmentBudget, up.Poll, up.Chunk,
+							func(at int, c []uts.Node) {
+								offs = append(offs, struct {
+									at    int
+									chunk []uts.Node
+								}{at, c})
+							})
+						// Offloads become visible when the walk reaches
+						// them; committed caps them if the segment is cut
+						// short by an interrupt.
+						committed := new(int)
+						*committed = 1 << 60
+						for _, o := range offs {
+							o := o
+							k.Schedule(time.Duration(o.at)*rate, func() {
+								if o.at <= *committed {
+									nd.pool = append(nd.pool, poolChunk{nodes: o.chunk})
+									nd.cond.Broadcast()
+								}
+							})
+						}
+						dur := time.Duration(cnt)*rate + time.Duration(len(offs))*up.CM.SharedSteal
+						if !isComm {
+							p.Wait(dur)
+							stack = newStack
+							nd.nodes += int64(cnt)
+							nd.work += time.Duration(cnt) * up.NodeCost
+							continue
+						}
+						elapsed, interrupted := p.WaitInterruptible(dur)
+						if !interrupted {
+							stack = newStack
+							nd.nodes += int64(cnt)
+							nd.work += time.Duration(cnt) * up.NodeCost
+							nd.overhead += elapsed - time.Duration(cnt)*up.NodeCost
+							continue
+						}
+						m := int(elapsed / rate)
+						mp := ((m / up.Poll) + 1) * up.Poll
+						if mp > cnt {
+							mp = cnt
+						}
+						*committed = mp
+						// Replay to mp; offloads encountered again were
+						// already scheduled, so just drop them from the
+						// replayed stack.
+						reStack, _ := walkBudget(up.Tree, snapshot, mp, up.Poll, up.Chunk, func(int, []uts.Node) {})
+						stack = reStack
+						nd.nodes += int64(mp)
+						nd.work += time.Duration(mp) * up.NodeCost
+						if extra := time.Duration(mp)*rate - elapsed; extra > 0 {
+							p.Wait(extra)
+						}
+						o0 := p.Now()
+						for {
+							msg, ok := nd.inbox.TryPop()
+							if !ok {
+								break
+							}
+							handle(p, msg)
+						}
+						nd.overhead += p.Now() - o0
+						continue
+					}
+					// Idle.
+					s0 := p.Now()
+					if len(nd.pool) > 0 {
+						c := nd.pool[len(nd.pool)-1]
+						nd.pool = nd.pool[:len(nd.pool)-1]
+						p.Wait(up.CM.SharedSteal)
+						stack = append(stack, c.nodes...)
+						nd.local++
+						nd.search += p.Now() - s0
+						continue
+					}
+					// Count ourselves idle for quiescence checks, then:
+					// thread 0 services pending messages and the token;
+					// the first idle thread launches a global steal (the
+					// cancellable-barrier overlap).
+					nd.idle++
+					if isComm || (staged && tID == 0 && nd.idle == cores) {
+						for {
+							msg, ok := nd.inbox.TryPop()
+							if !ok {
+								break
+							}
+							handle(p, msg)
+						}
+						forwardToken(p)
+					}
+					if nd.done {
+						nd.idle--
+						nd.search += p.Now() - s0
+						break
+					}
+					if !nd.outstanding && nodes > 1 &&
+						(!staged || nd.idle == cores) {
+						// Staged: a steal goes out only once the whole
+						// team is idle (the inter-region MPI phase).
+						nd.outstanding = true
+						victim := k.Rng().Intn(nodes - 1)
+						if victim >= r {
+							victim++
+						}
+						send(p, r, victim, utsMsg{kind: muReq}, 1)
+						nd.idle--
+						nd.search += p.Now() - s0
+						continue
+					}
+					if nodes == 1 && nd.idle == cores && len(nd.pool) == 0 {
+						nd.done = true
+						nd.idle--
+						nd.cond.Broadcast()
+						nd.search += p.Now() - s0
+						break
+					}
+					if isComm || (staged && tID == 0) {
+						// The MPI-servicing thread sleeps briefly instead
+						// of parking indefinitely.
+						p.Wait(20 * time.Microsecond)
+					} else {
+						nd.cond.Wait(p)
+					}
+					nd.idle--
+					nd.search += p.Now() - s0
+				}
+			})
+		}
+	}
+
+	makespan := k.Run(0)
+	res := UTSResult{Makespan: makespan}
+	var w, o, s time.Duration
+	for _, nd := range nds {
+		res.Nodes += nd.nodes
+		w += nd.work
+		o += nd.overhead
+		s += nd.search
+		res.Fails += nd.fails
+		res.Steals += nd.steals
+	}
+	den := time.Duration(nodes * cores)
+	res.AvgWork = w / den
+	res.AvgOverhead = o / den
+	res.AvgSearch = s / den
+	return res
+}

@@ -1,0 +1,184 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"hcmpi/internal/uts"
+)
+
+func TestUTSModelsConserveNodes(t *testing.T) {
+	want, _ := uts.T1Small.SeqCount()
+	up := DefaultUTSParams(uts.T1Small)
+	up.SegmentBudget = 64 // force many segments/interrupt paths
+	for _, cfg := range []struct{ nodes, cores int }{{1, 2}, {2, 2}, {4, 4}} {
+		m := UTSRunMPI(cfg.nodes, cfg.cores, up)
+		if m.Nodes != want {
+			t.Errorf("MPI %dx%d: nodes %d want %d", cfg.nodes, cfg.cores, m.Nodes, want)
+		}
+		h := UTSRunHCMPI(cfg.nodes, cfg.cores, up)
+		if h.Nodes != want {
+			t.Errorf("HCMPI %dx%d: nodes %d want %d", cfg.nodes, cfg.cores, h.Nodes, want)
+		}
+		y := UTSRunHybrid(cfg.nodes, cfg.cores, up)
+		if y.Nodes != want {
+			t.Errorf("hybrid %dx%d: nodes %d want %d", cfg.nodes, cfg.cores, y.Nodes, want)
+		}
+	}
+}
+
+func TestUTSModelDeterministic(t *testing.T) {
+	up := DefaultUTSParams(uts.T1Small)
+	a := UTSRunMPI(2, 2, up)
+	b := UTSRunMPI(2, 2, up)
+	if a.Makespan != b.Makespan || a.Fails != b.Fails {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestUTSScalingAndCrossover(t *testing.T) {
+	// A mid-size tree: enough work that 2 nodes scale, small enough that
+	// large configs starve — reproducing Figs. 16/18's qualitative arc.
+	tree := uts.T1Med
+	want, _ := tree.SeqCount()
+	up := DefaultUTSParams(tree)
+
+	m1 := UTSRunMPI(1, 4, up)
+	m4 := UTSRunMPI(4, 4, up)
+	if m1.Nodes != want || m4.Nodes != want {
+		t.Fatalf("node counts wrong: %d %d want %d", m1.Nodes, m4.Nodes, want)
+	}
+	// Strong scaling in the work-rich regime.
+	if !(m4.Makespan < m1.Makespan) {
+		t.Errorf("MPI did not scale: 1x4=%v 4x4=%v", m1.Makespan, m4.Makespan)
+	}
+
+	h1 := UTSRunHCMPI(1, 4, up)
+	h4 := UTSRunHCMPI(4, 4, up)
+	if h1.Nodes != want || h4.Nodes != want {
+		t.Fatalf("HCMPI counts wrong")
+	}
+	if !(h4.Makespan < h1.Makespan) {
+		t.Errorf("HCMPI did not scale: %v -> %v", h1.Makespan, h4.Makespan)
+	}
+
+	// Fig 20's low-cores crossover: with only 2 cores per node HCMPI has
+	// half the compute (1 worker vs 2 ranks) and should LOSE to MPI.
+	m2c := UTSRunMPI(2, 2, up)
+	h2c := UTSRunHCMPI(2, 2, up)
+	if !(h2c.Makespan > m2c.Makespan) {
+		t.Errorf("2 cores/node: HCMPI (%v) should lose to MPI (%v)", h2c.Makespan, m2c.Makespan)
+	}
+}
+
+func TestUTSHCMPIOverheadSmaller(t *testing.T) {
+	// Table III: HCMPI's overhead column is consistently ~5x smaller —
+	// computation workers never service communication.
+	up := DefaultUTSParams(uts.T1Med)
+	m := UTSRunMPI(4, 4, up)
+	h := UTSRunHCMPI(4, 4, up)
+	if !(h.AvgOverhead < m.AvgOverhead) {
+		t.Errorf("overhead: MPI %v vs HCMPI %v", m.AvgOverhead, h.AvgOverhead)
+	}
+}
+
+func TestUTSStarvationRegimeFavorsHCMPI(t *testing.T) {
+	// Push a small tree onto many cores: MPI's failed two-sided steals
+	// should blow up its search time; HCMPI's search stays moderate
+	// (Table III, 1024-node row).
+	tree := uts.T1Small
+	up := DefaultUTSParams(tree)
+	m := UTSRunMPI(8, 8, up)
+	h := UTSRunHCMPI(8, 8, up)
+	if m.Nodes != h.Nodes {
+		t.Fatalf("node counts differ")
+	}
+	if !(h.Makespan < m.Makespan) {
+		t.Errorf("starved regime: HCMPI %v not faster than MPI %v (MPI fails=%d, HCMPI fails=%d)",
+			h.Makespan, m.Makespan, m.Fails, h.Fails)
+	}
+	if !(m.Fails > h.Fails) {
+		t.Errorf("failed steals: MPI %d should exceed HCMPI %d", m.Fails, h.Fails)
+	}
+}
+
+func TestUTSHybridBetweenMPIAndHCMPI(t *testing.T) {
+	up := DefaultUTSParams(uts.T1Small)
+	m := UTSRunMPI(8, 8, up)
+	h := UTSRunHCMPI(8, 8, up)
+	y := UTSRunHybrid(8, 8, up)
+	if y.Nodes != m.Nodes {
+		t.Fatalf("hybrid lost nodes")
+	}
+	// Fig 22: HCMPI beats the hybrid at scale; the hybrid beats plain MPI.
+	if !(h.Makespan < y.Makespan) {
+		t.Errorf("HCMPI (%v) not faster than hybrid (%v)", h.Makespan, y.Makespan)
+	}
+	if !(y.Makespan < m.Makespan) {
+		t.Errorf("hybrid (%v) not faster than MPI (%v)", y.Makespan, m.Makespan)
+	}
+}
+
+func TestWalkBudgetOffloadRule(t *testing.T) {
+	cfg := uts.T1Small
+	var chunks [][]uts.Node
+	stack := []uts.Node{cfg.Root()}
+	var total int
+	for len(stack) > 0 {
+		var n int
+		stack, n = walkBudget(cfg, stack, 1000, 4, 8, func(_ int, c []uts.Node) {
+			chunks = append(chunks, c)
+		})
+		total += n
+	}
+	// Offloaded chunks are real subtree roots: explore them too.
+	for _, c := range chunks {
+		st := append([]uts.Node(nil), c...)
+		for len(st) > 0 {
+			var n int
+			st, n = walkBudget(cfg, st, 1<<30, 4, 1<<30, nil)
+			total += n
+		}
+	}
+	want, _ := cfg.SeqCount()
+	if int64(total) != want {
+		t.Fatalf("walkBudget lost nodes: %d want %d", total, want)
+	}
+	if len(chunks) == 0 {
+		t.Fatal("no offloads happened")
+	}
+}
+
+func TestUTSMakespanLowerBound(t *testing.T) {
+	// Makespan can never beat perfect speedup of the pure work.
+	tree := uts.T1Small
+	want, _ := tree.SeqCount()
+	up := DefaultUTSParams(tree)
+	res := UTSRunMPI(2, 4, up)
+	perfect := time.Duration(want) * up.NodeCost / 8
+	if res.Makespan < perfect {
+		t.Fatalf("makespan %v beats perfect speedup %v", res.Makespan, perfect)
+	}
+}
+
+func TestStagedHybridConservesAndUnderperforms(t *testing.T) {
+	// The paper's naive staged hybrid: correct, but "worse performance
+	// than MPI" thanks to thread idleness — the improved cancellable
+	// barrier version must beat it, and MPI should too in the
+	// steal-dependent regime.
+	tree := uts.T1Med
+	want, _ := tree.SeqCount()
+	up := DefaultUTSParams(tree)
+	st := UTSRunHybridStaged(4, 4, up)
+	if st.Nodes != want {
+		t.Fatalf("staged lost nodes: %d want %d", st.Nodes, want)
+	}
+	imp := UTSRunHybrid(4, 4, up)
+	if !(imp.Makespan < st.Makespan) {
+		t.Errorf("improved (%v) not faster than staged (%v)", imp.Makespan, st.Makespan)
+	}
+	m := UTSRunMPI(4, 4, up)
+	if !(m.Makespan < st.Makespan) {
+		t.Errorf("MPI (%v) not faster than staged (%v) — paper says staged loses to MPI", m.Makespan, st.Makespan)
+	}
+}

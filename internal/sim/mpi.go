@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"time"
+)
+
+// Simulated MPI: the same matching semantics as the real substrate
+// (posted and unexpected queues, wildcards, non-overtaking via the pipe
+// model) plus explicit cost modelling — a per-call software overhead and,
+// in thread-multiple mode, a queued library lock whose critical section
+// is held for LockHold. Payloads travel as `any` (no serialization); the
+// declared Size drives the timing.
+
+// MPIParams are the library cost knobs.
+type MPIParams struct {
+	// CallOverhead is the software cost of entering any MPI call.
+	CallOverhead time.Duration
+	// ThreadMultiple enables the per-rank library lock.
+	ThreadMultiple bool
+	// LockHold is how long the library lock is held per call in
+	// thread-multiple mode (the critical-section work).
+	LockHold time.Duration
+}
+
+// DefaultMPIParams approximate a tuned MPICH on a 2012-era system.
+var DefaultMPIParams = MPIParams{
+	CallOverhead: 150 * time.Nanosecond,
+	LockHold:     250 * time.Nanosecond,
+}
+
+// AnySource and AnyTag are the matching wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Msg is a simulated message.
+type Msg struct {
+	Src, Tag int
+	Size     int
+	Payload  any
+}
+
+// Req is a simulated request handle.
+type Req struct {
+	done    bool
+	msg     Msg
+	waiters []*Proc
+	ep      *Endpoint
+	src     int // matching criteria for posted receives
+	tag     int
+	isRecv  bool
+}
+
+// Done reports completion.
+func (r *Req) Done() bool { return r.done }
+
+// Msg returns the completed message (receives) or the sent envelope.
+func (r *Req) MsgVal() Msg { return r.msg }
+
+func (r *Req) complete(m Msg) {
+	r.done = true
+	r.msg = m
+	for _, p := range r.waiters {
+		p := p
+		r.ep.k.Schedule(0, func() { r.ep.k.resume(p) })
+	}
+	r.waiters = nil
+}
+
+// Endpoint is one rank's MPI endpoint.
+type Endpoint struct {
+	k      *Kernel
+	net    *Net
+	rank   int
+	world  []*Endpoint
+	par    MPIParams
+	lock   *Resource
+	psted  []*Req
+	unexp  []Msg
+	arr    *Cond
+	collSq int
+}
+
+// NewWorld builds n connected endpoints over net.
+func NewWorld(k *Kernel, net *Net, n int, par MPIParams) []*Endpoint {
+	eps := make([]*Endpoint, n)
+	for r := 0; r < n; r++ {
+		eps[r] = &Endpoint{k: k, net: net, rank: r, par: par, arr: NewCond(k)}
+		eps[r].world = eps
+		if par.ThreadMultiple {
+			eps[r].lock = NewResource(k, 1)
+		}
+	}
+	return eps
+}
+
+// Rank returns the endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *Endpoint) Size() int { return len(e.world) }
+
+// LockQueueing returns accumulated waiting time on the library lock.
+func (e *Endpoint) LockQueueing() time.Duration {
+	if e.lock == nil {
+		return 0
+	}
+	return e.lock.TotalQueueing
+}
+
+// enter models the MPI library entry: per-call software overhead and, in
+// thread-multiple mode, the queued lock held for LockHold.
+func (e *Endpoint) enter(p *Proc) {
+	if e.par.CallOverhead > 0 {
+		p.Wait(e.par.CallOverhead)
+	}
+	if e.lock != nil {
+		e.lock.Acquire(p)
+		if e.par.LockHold > 0 {
+			p.Wait(e.par.LockHold)
+		}
+		e.lock.Release()
+	}
+}
+
+func match(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) && (wantTag == AnyTag || wantTag == tag)
+}
+
+// Isend starts a send; the request completes at delivery.
+func (e *Endpoint) Isend(p *Proc, dst, tag, size int, payload any) *Req {
+	e.enter(p)
+	req := &Req{ep: e}
+	m := Msg{Src: e.rank, Tag: tag, Size: size, Payload: payload}
+	dstEp := e.world[dst]
+	e.net.Send(e.rank, dst, size, func() {
+		dstEp.deliver(m)
+		req.complete(m)
+	})
+	return req
+}
+
+// Send blocks until the message arrives at the destination endpoint.
+func (e *Endpoint) Send(p *Proc, dst, tag, size int, payload any) {
+	e.Isend(p, dst, tag, size, payload).Wait(p)
+}
+
+// deliver runs in kernel context at arrival time.
+func (e *Endpoint) deliver(m Msg) {
+	for i, r := range e.psted {
+		if match(r.src, r.tag, m.Src, m.Tag) {
+			e.psted = append(e.psted[:i], e.psted[i+1:]...)
+			e.arr.Broadcast()
+			r.complete(m)
+			return
+		}
+	}
+	e.unexp = append(e.unexp, m)
+	e.arr.Broadcast()
+}
+
+// Irecv posts a receive.
+func (e *Endpoint) Irecv(p *Proc, src, tag int) *Req {
+	e.enter(p)
+	req := &Req{ep: e, src: src, tag: tag, isRecv: true}
+	for i, m := range e.unexp {
+		if match(src, tag, m.Src, m.Tag) {
+			e.unexp = append(e.unexp[:i], e.unexp[i+1:]...)
+			req.complete(m)
+			return req
+		}
+	}
+	e.psted = append(e.psted, req)
+	return req
+}
+
+// Recv blocks until a matching message arrives and returns it.
+func (e *Endpoint) Recv(p *Proc, src, tag int) Msg {
+	r := e.Irecv(p, src, tag)
+	r.Wait(p)
+	return r.msg
+}
+
+// Wait parks p until the request completes.
+func (r *Req) Wait(p *Proc) {
+	if r.done {
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// Test polls for completion; it costs one call overhead (MPI_Test is a
+// library call — this is precisely what the UTS polling interval pays).
+func (r *Req) Test(p *Proc) bool {
+	r.ep.enter(p)
+	return r.done
+}
+
+// Iprobe checks for a matching unexpected message.
+func (e *Endpoint) Iprobe(p *Proc, src, tag int) (Msg, bool) {
+	e.enter(p)
+	for _, m := range e.unexp {
+		if match(src, tag, m.Src, m.Tag) {
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// --- collectives: the same algorithms as the real substrate, paying the
+// modelled per-message costs over the virtual network ---
+
+const collTagBase = 1 << 28
+
+func (e *Endpoint) nextColl() int {
+	e.collSq++
+	return e.collSq
+}
+
+// Barrier is a dissemination barrier (ceil(log2 p) rounds of p2p).
+func (e *Endpoint) Barrier(p *Proc) {
+	seq := e.nextColl()
+	n := len(e.world)
+	if n == 1 {
+		return
+	}
+	me := e.rank
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		tag := collTagBase + seq*64 + round
+		req := e.Irecv(p, from, tag)
+		e.Isend(p, to, tag, 1, nil)
+		req.Wait(p)
+	}
+}
+
+// Allreduce models reduce-to-root plus broadcast over binomial trees,
+// carrying count*width bytes, combining payloads with fold (payloads are
+// opaque to the simulator).
+func (e *Endpoint) Allreduce(p *Proc, bytes int, local any, fold func(a, b any) any) any {
+	seq := e.nextColl()
+	v := e.reduce(p, seq, bytes, local, fold)
+	return e.bcast(p, seq, bytes, v)
+}
+
+func (e *Endpoint) reduce(p *Proc, seq, bytes int, local any, fold func(a, b any) any) any {
+	n := len(e.world)
+	acc := local
+	vr := e.rank // root 0
+	tag := collTagBase + seq*64 + 40
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			e.Isend(p, vr-mask, tag, bytes, acc)
+			return nil
+		}
+		if vr+mask < n {
+			m := e.Recv(p, vr+mask, tag)
+			if fold != nil {
+				acc = fold(acc, m.Payload)
+			}
+		}
+	}
+	return acc
+}
+
+func (e *Endpoint) bcast(p *Proc, seq, bytes int, v any) any {
+	n := len(e.world)
+	if n == 1 {
+		return v
+	}
+	vr := e.rank
+	tag := collTagBase + seq*64 + 41
+	if vr != 0 {
+		m := e.Recv(p, vr&(vr-1), tag)
+		v = m.Payload
+	}
+	stop := n
+	if vr != 0 {
+		stop = vr & -vr
+	}
+	for mask := 1; mask < stop && vr+mask < n; mask <<= 1 {
+		e.Isend(p, vr+mask, tag, bytes, v)
+	}
+	return v
+}
+
+// Bcast broadcasts root-0's value (binomial tree).
+func (e *Endpoint) Bcast(p *Proc, bytes int, v any) any {
+	seq := e.nextColl()
+	return e.bcast(p, seq, bytes, v)
+}

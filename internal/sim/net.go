@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"time"
+
+	"hcmpi/internal/netsim"
+)
+
+// Net is the interconnect pipe model of package netsim transplanted into
+// virtual time: arrival = max(prevArrival, send+latency) + size/bandwidth
+// per ordered (src,dst) pair, with intra- vs inter-node parameter
+// classes.
+type Net struct {
+	k      *Kernel
+	params netsim.Params
+	node   []int
+	last   map[[2]int]time.Duration
+
+	Messages int64
+	Bytes    int64
+}
+
+// NewNet creates a virtual-time network for n ranks; nodeOf maps ranks to
+// nodes (nil: one rank per node).
+func NewNet(k *Kernel, n int, nodeOf func(int) int, p netsim.Params) *Net {
+	nt := &Net{k: k, params: p, node: make([]int, n), last: make(map[[2]int]time.Duration)}
+	for r := 0; r < n; r++ {
+		if nodeOf != nil {
+			nt.node[r] = nodeOf(r)
+		} else {
+			nt.node[r] = r
+		}
+	}
+	return nt
+}
+
+// SameNode reports whether two ranks share a node.
+func (n *Net) SameNode(a, b int) bool { return n.node[a] == n.node[b] }
+
+// Send schedules deliver at the modelled arrival time.
+func (n *Net) Send(src, dst, size int, deliver func()) {
+	n.Messages++
+	n.Bytes += int64(size)
+	lat := n.params.InterLatency
+	bw := n.params.InterBandwidth
+	if n.SameNode(src, dst) {
+		lat = n.params.IntraLatency
+		bw = n.params.IntraBandwidth
+	}
+	arrival := n.k.Now() + lat
+	if prev := n.last[[2]int{src, dst}]; prev > arrival {
+		arrival = prev
+	}
+	if bw > 0 {
+		arrival += time.Duration(float64(size) / bw * float64(time.Second))
+	}
+	n.last[[2]int{src, dst}] = arrival
+	n.k.Schedule(arrival-n.k.Now(), deliver)
+}

@@ -1,0 +1,208 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO in virtual time: pushes never block, pops
+// block the calling process until a value is available. Waiters are
+// served FIFO for determinism.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue creates a queue on k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push enqueues v; if a process is blocked in Pop, it is scheduled to
+// wake now and receive v directly.
+func (q *Queue[T]) Push(v T) {
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		p.wakeVal = v
+		q.k.Schedule(0, func() { q.k.resume(p) })
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// TryPop returns an item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks p until an item is available.
+func (q *Queue[T]) Pop(p *Proc) T {
+	if v, ok := q.TryPop(); ok {
+		return v
+	}
+	q.waiters = append(q.waiters, p)
+	p.park()
+	v := p.wakeVal.(T)
+	p.wakeVal = nil
+	return v
+}
+
+// Cond is a broadcastable condition in virtual time.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond creates a condition on k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks p until a Broadcast or Signal.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.Schedule(0, func() { c.k.resume(p) })
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p := p
+		c.k.Schedule(0, func() { c.k.resume(p) })
+	}
+}
+
+// Waiters returns the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Event is a one-shot latch: Wait returns immediately once Fire has
+// happened, whenever that was.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// Fire latches the event and wakes all waiters.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	ws := e.waiters
+	e.waiters = nil
+	for _, p := range ws {
+		p := p
+		e.k.Schedule(0, func() { e.k.resume(p) })
+	}
+}
+
+// Fired reports whether the event happened.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait parks p until the event fires (returns immediately if it already
+// has).
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park()
+}
+
+// Resource models a lock or a pool of k units with FIFO queueing — the
+// instrument for contention effects such as the MPI_THREAD_MULTIPLE
+// library lock. It records total queueing delay so models can report it.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	TotalQueueing time.Duration
+	Acquisitions  int64
+}
+
+// NewResource creates a resource with the given capacity (1 = mutex).
+func NewResource(k *Kernel, capacity int) *Resource {
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Acquire blocks p until a unit is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.Acquisitions++
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	t0 := p.Now()
+	r.waiters = append(r.waiters, p)
+	p.park()
+	r.TotalQueueing += p.Now() - t0
+	// The releaser transferred the unit to us.
+}
+
+// Release frees a unit, handing it to the longest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.k.Schedule(0, func() { r.k.resume(p) })
+		return // unit transferred
+	}
+	r.inUse--
+}
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Contention returns holders plus waiters — the number of parties
+// currently interested in the resource.
+func (r *Resource) Contention() int { return r.inUse + len(r.waiters) }
+
+// Barrier is an n-party synchronization in virtual time.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(k *Kernel, n int) *Barrier { return &Barrier{k: k, n: n} }
+
+// Wait blocks p until all n parties arrive.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			w := w
+			b.k.Schedule(0, func() { b.k.resume(w) })
+		}
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.park()
+}

@@ -1,0 +1,209 @@
+package sw
+
+import (
+	"sync"
+
+	"hcmpi/internal/dddf"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/mpi"
+)
+
+// The HCMPI DDDF implementation: every outer tile owned by this rank is a
+// data-driven task awaiting its three incoming edges (left tile's right
+// column, top tile's bottom row, diagonal tile's corner), published as
+// DDDFs with globally unique ids. No rank ever blocks on a specific peer;
+// the wavefront advances unevenly ("unstructured diagonal", Fig. 23), and
+// communication overlaps computation through the communication worker.
+
+// edge kinds within a tile's guid group.
+const (
+	edgeRight  = 0
+	edgeBottom = 1
+	edgeCorner = 2
+)
+
+// Guid computes the DDDF id for a tile edge.
+func Guid(cfg Config, ti, tj, edge int) int64 {
+	return int64((ti*cfg.TilesW()+tj)*3 + edge)
+}
+
+// HomeFunc builds the dddf.HomeFunc for a distribution.
+func HomeFunc(cfg Config, dist Distribution, ranks int) dddf.HomeFunc {
+	th, tw := cfg.TilesH(), cfg.TilesW()
+	return func(guid int64) int {
+		t := int(guid) / 3
+		return dist(t/tw, t%tw, th, tw, ranks)
+	}
+}
+
+// RunDDDF executes the tiled wavefront on one rank's main task and
+// returns the global maximum alignment score. The space must have been
+// created with HomeFunc(cfg, dist, ranks); call from within the node's
+// root task (hcmpi.Node.Main / hcmpi.RunDDDF).
+func RunDDDF(space *dddf.Space, ctx *hc.Ctx, cfg Config, dist Distribution) int32 {
+	cfg = cfg.normalized()
+	node := space.Node()
+	a, b := cfg.Sequences()
+	th, tw := cfg.TilesH(), cfg.TilesW()
+	me := node.Rank()
+	ranks := node.Size()
+
+	var maxMu sync.Mutex
+	var localMax int32
+
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for ti := 0; ti < th; ti++ {
+			for tj := 0; tj < tw; tj++ {
+				if dist(ti, tj, th, tw, ranks) != me {
+					continue
+				}
+				ti, tj := ti, tj
+				var deps []*dddf.Handle
+				var hTop, hLeft, hCorner *dddf.Handle
+				if ti > 0 {
+					hTop = space.Handle(Guid(cfg, ti-1, tj, edgeBottom))
+					deps = append(deps, hTop)
+				}
+				if tj > 0 {
+					hLeft = space.Handle(Guid(cfg, ti, tj-1, edgeRight))
+					deps = append(deps, hLeft)
+				}
+				if ti > 0 && tj > 0 {
+					hCorner = space.Handle(Guid(cfg, ti-1, tj-1, edgeCorner))
+					deps = append(deps, hCorner)
+				}
+				space.AsyncAwait(ctx, func(ctx *hc.Ctx) {
+					i0, i1, j0, j1 := cfg.TileSpan(ti, tj)
+					top := make([]int32, j1-j0)
+					left := make([]int32, i1-i0)
+					var corner int32
+					if hTop != nil {
+						copy(top, DecodeEdge(hTop.MustGet()))
+					}
+					if hLeft != nil {
+						copy(left, DecodeEdge(hLeft.MustGet()))
+					}
+					if hCorner != nil {
+						corner = DecodeEdge(hCorner.MustGet())[0]
+					}
+					res := ComputeTileParallel(ctx, cfg, a[i0:i1], b[j0:j1], top, left, corner)
+					space.Handle(Guid(cfg, ti, tj, edgeRight)).Put(ctx, EncodeEdge(res.Right))
+					space.Handle(Guid(cfg, ti, tj, edgeBottom)).Put(ctx, EncodeEdge(res.Bottom))
+					space.Handle(Guid(cfg, ti, tj, edgeCorner)).Put(ctx, EncodeEdge([]int32{res.Corner}))
+					maxMu.Lock()
+					if res.Max > localMax {
+						localMax = res.Max
+					}
+					maxMu.Unlock()
+				}, deps...)
+			}
+		}
+	})
+	// All my tiles are done; combine maxima across ranks.
+	global := node.Allreduce(ctx, mpi.EncodeInt64(int64(localMax)), mpi.Int64, mpi.OpMax)
+	maxMu.Lock()
+	localMax = int32(mpi.DecodeInt64(global))
+	maxMu.Unlock()
+	return localMax
+}
+
+// ComputeTileParallel evaluates one outer tile as an intra-node wavefront
+// of inner tiles synchronized by shared-memory DDFs (the hierarchical
+// tiling of Fig. 23: outer tiles tune communication granularity, inner
+// tiles tune task granularity).
+func ComputeTileParallel(ctx *hc.Ctx, cfg Config, a, b []byte, top, left []int32, corner int32) TileResult {
+	cfg = cfg.normalized()
+	h, w := len(a), len(b)
+	ih, iw := cfg.InnerH, cfg.InnerW
+	gh := (h + ih - 1) / ih
+	gw := (w + iw - 1) / iw
+	if gh*gw == 1 {
+		return ComputeTile(cfg, a, b, top, left, corner)
+	}
+
+	results := make([][]TileResult, gh)
+	ready := make([][]*hc.DDF, gh)
+	for p := range results {
+		results[p] = make([]TileResult, gw)
+		ready[p] = make([]*hc.DDF, gw)
+		for q := range ready[p] {
+			ready[p][q] = hc.NewDDF()
+		}
+	}
+
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for p := 0; p < gh; p++ {
+			for q := 0; q < gw; q++ {
+				p, q := p, q
+				var deps []*hc.DDF
+				if p > 0 {
+					deps = append(deps, ready[p-1][q])
+				}
+				if q > 0 {
+					deps = append(deps, ready[p][q-1])
+				}
+				if p > 0 && q > 0 {
+					deps = append(deps, ready[p-1][q-1])
+				}
+				ctx.AsyncAwait(func(ctx *hc.Ctx) {
+					i0 := p * ih
+					i1 := min(i0+ih, h)
+					j0 := q * iw
+					j1 := min(j0+iw, w)
+					iTop := make([]int32, j1-j0)
+					iLeft := make([]int32, i1-i0)
+					var iCorner int32
+					if p > 0 {
+						copy(iTop, results[p-1][q].Bottom[:])
+					} else {
+						copy(iTop, top[j0:j1])
+					}
+					if q > 0 {
+						copy(iLeft, results[p][q-1].Right[:])
+					} else {
+						copy(iLeft, left[i0:i1])
+					}
+					switch {
+					case p > 0 && q > 0:
+						iCorner = results[p-1][q-1].Corner
+					case p > 0: // first column: corner is left edge of row above
+						iCorner = left[i0-1]
+					case q > 0: // first row: corner is top edge of col before
+						iCorner = top[j0-1]
+					default:
+						iCorner = corner
+					}
+					results[p][q] = ComputeTile(cfg, a[i0:i1], b[j0:j1], iTop, iLeft, iCorner)
+					ready[p][q].Put(ctx, struct{}{})
+				}, deps...)
+			}
+		}
+	})
+
+	// Assemble the outer tile's outgoing state from the inner grid.
+	out := TileResult{Right: make([]int32, h), Bottom: make([]int32, w)}
+	for p := 0; p < gh; p++ {
+		r := results[p][gw-1]
+		copy(out.Right[p*ih:], r.Right)
+	}
+	for q := 0; q < gw; q++ {
+		r := results[gh-1][q]
+		copy(out.Bottom[q*iw:], r.Bottom)
+	}
+	out.Corner = results[gh-1][gw-1].Corner
+	for p := 0; p < gh; p++ {
+		for q := 0; q < gw; q++ {
+			if results[p][q].Max > out.Max {
+				out.Max = results[p][q].Max
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

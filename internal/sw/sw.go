@@ -1,0 +1,204 @@
+// Package sw implements the paper's Smith-Waterman case study (§IV-C): a
+// hierarchically tiled local sequence alignment computed as a 2D
+// wavefront. Outer tiles are distributed across ranks and synchronized
+// with distributed data-driven futures (each tile publishes its right
+// column, bottom row, and bottom-right corner, exactly the three DDDFs of
+// Fig. 23); inner tiles exploit intra-node wavefront parallelism with
+// shared-memory data-driven tasks. The baseline is the MPI+OpenMP
+// fork-join version with an implicit barrier between diagonals (Fig. 25).
+//
+// The paper aligns two real sequences of 1.856M/1.92M characters; here
+// the inputs are synthetic random DNA strings of configurable length
+// (DESIGN.md §2) — the dependence structure, which is what the runtime
+// study measures, is unchanged.
+package sw
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Config describes one alignment problem and its tiling.
+type Config struct {
+	LenA, LenB int   // sequence lengths (rows, columns)
+	Seed       int64 // synthetic sequence seed
+	// Outer tiling (distributed): tile sizes in elements.
+	OuterH, OuterW int
+	// Inner tiling (intra-node tasks): tile sizes in elements.
+	InnerH, InnerW int
+	// Scoring.
+	Match, Mismatch, Gap int32
+}
+
+// DefaultScoring fills in standard scoring when unset.
+func (c Config) normalized() Config {
+	if c.Match == 0 {
+		c.Match = 2
+	}
+	if c.Mismatch == 0 {
+		c.Mismatch = -1
+	}
+	if c.Gap == 0 {
+		c.Gap = 1 // subtracted
+	}
+	if c.OuterH <= 0 {
+		c.OuterH = c.LenA
+	}
+	if c.OuterW <= 0 {
+		c.OuterW = c.LenB
+	}
+	if c.InnerH <= 0 {
+		c.InnerH = c.OuterH
+	}
+	if c.InnerW <= 0 {
+		c.InnerW = c.OuterW
+	}
+	return c
+}
+
+// TilesH and TilesW give the outer tile grid dimensions.
+func (c Config) TilesH() int { n := c.normalized(); return (n.LenA + n.OuterH - 1) / n.OuterH }
+
+// TilesW gives the outer tile grid width.
+func (c Config) TilesW() int { n := c.normalized(); return (n.LenB + n.OuterW - 1) / n.OuterW }
+
+// Sequences deterministically generates the two synthetic DNA sequences.
+func (c Config) Sequences() (a, b []byte) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	letters := []byte("ACGT")
+	a = make([]byte, c.LenA)
+	b = make([]byte, c.LenB)
+	for i := range a {
+		a[i] = letters[rng.Intn(4)]
+	}
+	for i := range b {
+		b[i] = letters[rng.Intn(4)]
+	}
+	return a, b
+}
+
+// TileResult carries the outward-visible state of a computed tile: its
+// right column, bottom row, bottom-right corner, and local maximum.
+type TileResult struct {
+	Right  []int32
+	Bottom []int32
+	Corner int32
+	Max    int32
+}
+
+// ComputeTile evaluates the Smith-Waterman recurrence over the rectangle
+// a×b given the incoming edges: top (len(b) values), left (len(a)
+// values), and the diagonal corner. Boundary tiles pass zero-filled
+// edges. Only the outgoing edges and the tile's max are retained, so a
+// tile costs O(len(b)) space.
+func ComputeTile(cfg Config, a, b []byte, top, left []int32, corner int32) TileResult {
+	cfg = cfg.normalized()
+	h, w := len(a), len(b)
+	res := TileResult{Right: make([]int32, h), Bottom: make([]int32, w)}
+	prev := make([]int32, w+1) // row i-1: [corner-ish, top...]
+	curr := make([]int32, w+1)
+	prev[0] = corner
+	copy(prev[1:], top)
+	for i := 0; i < h; i++ {
+		curr[0] = left[i]
+		for j := 0; j < w; j++ {
+			s := cfg.Mismatch
+			if a[i] == b[j] {
+				s = cfg.Match
+			}
+			v := prev[j] + s // diagonal
+			if up := prev[j+1] - cfg.Gap; up > v {
+				v = up
+			}
+			if lf := curr[j] - cfg.Gap; lf > v {
+				v = lf
+			}
+			if v < 0 {
+				v = 0
+			}
+			curr[j+1] = v
+			if v > res.Max {
+				res.Max = v
+			}
+		}
+		res.Right[i] = curr[w]
+		// After the swap, prev[0] = left[i] = H(i, j0-1), which is
+		// exactly the diagonal seed row i+1 needs.
+		prev, curr = curr, prev
+	}
+	copy(res.Bottom, prev[1:])
+	res.Corner = prev[w]
+	return res
+}
+
+// SeqMax computes the full alignment sequentially (the ground truth for
+// the distributed implementations).
+func SeqMax(cfg Config) int32 {
+	cfg = cfg.normalized()
+	a, b := cfg.Sequences()
+	top := make([]int32, len(b))
+	left := make([]int32, len(a))
+	r := ComputeTile(cfg, a, b, top, left, 0)
+	return r.Max
+}
+
+// EncodeEdge packs an int32 edge vector for the wire.
+func EncodeEdge(v []int32) []byte {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return b
+}
+
+// DecodeEdge unpacks an int32 edge vector.
+func DecodeEdge(b []byte) []int32 {
+	v := make([]int32, len(b)/4)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return v
+}
+
+// TileSpan returns element ranges covered by outer tile (ti,tj).
+func (c Config) TileSpan(ti, tj int) (i0, i1, j0, j1 int) {
+	n := c.normalized()
+	i0 = ti * n.OuterH
+	i1 = i0 + n.OuterH
+	if i1 > n.LenA {
+		i1 = n.LenA
+	}
+	j0 = tj * n.OuterW
+	j1 = j0 + n.OuterW
+	if j1 > n.LenB {
+		j1 = n.LenB
+	}
+	return
+}
+
+// Distribution maps an outer tile to its home rank.
+type Distribution func(ti, tj, tilesH, tilesW, ranks int) int
+
+// DiagonalBlocks is the paper's best HCMPI distribution: each
+// anti-diagonal is split into contiguous chunks assigned to ranks in
+// order, producing bands perpendicular to the wavefront.
+func DiagonalBlocks(ti, tj, tilesH, tilesW, ranks int) int {
+	d := ti + tj
+	// Position of (ti,tj) along diagonal d and the diagonal's length.
+	lo := 0
+	if d-(tilesW-1) > 0 {
+		lo = d - (tilesW - 1)
+	}
+	hi := d
+	if hi > tilesH-1 {
+		hi = tilesH - 1
+	}
+	length := hi - lo + 1
+	pos := ti - lo
+	return pos * ranks / length
+}
+
+// ColumnCyclic assigns tiles by column, cyclically — the distribution the
+// paper found best for the MPI+OpenMP baseline (a cyclic distribution on
+// the diagonals).
+func ColumnCyclic(_, tj, _, _, ranks int) int { return tj % ranks }

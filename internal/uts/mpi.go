@@ -1,0 +1,282 @@
+package uts
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+
+	"hcmpi/internal/mpi"
+)
+
+// The reference MPI implementation: every core is an MPI rank running the
+// work-stealing algorithm of Dinan et al. (IPDPS'07). Steals are
+// two-sided — the thief sends a request and the victim must notice it at
+// a polling boundary and answer with either a chunk of its stack or a
+// reject — and termination uses a token-passing algorithm, as in the
+// reference code. Because our transport is asynchronous (messages can be
+// delivered but not yet consumed), the ring runs Safra's algorithm
+// (EWD998): the token accumulates each rank's sent-minus-received count
+// of basic messages, receipt of a basic message blackens the receiver,
+// and rank 0 declares termination only on a white round whose total
+// message deficit is zero.
+//
+// The paper's Table III attributes MPI's collapse at scale to exactly the
+// two-sided steal structure: failed steals burn victim CPU and network.
+
+// Message tags for the UTS protocol.
+const (
+	tagStealReq  = 1 // thief -> victim: empty payload
+	tagStealResp = 2 // victim -> thief: chunk of nodes, or empty = reject
+	tagToken     = 3 // termination ring token: [color, q]
+	tagDone      = 4 // rank 0 -> all: terminate
+)
+
+const (
+	tokenWhite = byte(0)
+	tokenBlack = byte(1)
+)
+
+func encodeToken(color byte, q int64) []byte {
+	b := make([]byte, 9)
+	b[0] = color
+	binary.LittleEndian.PutUint64(b[1:], uint64(q))
+	return b
+}
+
+func decodeToken(b []byte) (byte, int64) {
+	return b[0], int64(binary.LittleEndian.Uint64(b[1:]))
+}
+
+// RunMPI executes UTS on one rank of an "MPI everywhere" job and returns
+// this rank's counters. The global node total is the allreduced sum of
+// Counters.Nodes; callers typically wrap this with World.Run.
+func RunMPI(c *mpi.Comm, cfg Config, p Params) Counters {
+	w := &mpiWorker{comm: c, cfg: cfg, p: p.normalized(), rng: rand.New(rand.NewSource(int64(c.Rank())*7919 + 13))}
+	return w.run()
+}
+
+type mpiWorker struct {
+	comm *mpi.Comm
+	cfg  Config
+	p    Params
+	rng  *rand.Rand
+
+	stack []Node
+	ctr   Counters
+
+	// Safra state.
+	deficit    int64 // basic messages sent - received
+	color      byte
+	haveTok    bool
+	tokColor   byte
+	tokQ       int64
+	tokenRound bool
+	done       bool
+}
+
+// sendWork sends a work-carrying message, the only kind Safra must count:
+// steal requests and rejects cannot reactivate a passive rank, so they
+// are control traffic like the token itself. Counting them instead would
+// livelock the ring — idle ranks steal continuously, and blackening on
+// every reject would prevent any all-white round.
+func (w *mpiWorker) sendWork(buf []byte, dest, tag int) {
+	w.deficit++
+	w.comm.Isend(buf, dest, tag)
+}
+
+// recvWork records the application-level receipt of a work message:
+// decrement the deficit and blacken (EWD998 receipt rule).
+func (w *mpiWorker) recvWork() {
+	w.deficit--
+	w.color = tokenBlack
+}
+
+func (w *mpiWorker) run() Counters {
+	if w.comm.Rank() == 0 {
+		w.stack = append(w.stack, w.cfg.Root())
+		w.haveTok = true // rank 0 owns the initial token
+		w.tokColor = tokenWhite
+	}
+	w.color = tokenWhite
+
+	for !w.done {
+		if len(w.stack) > 0 {
+			w.exploreSlice()
+			w.service()
+			continue
+		}
+		w.searchForWork()
+	}
+	// Drain: answer any straggling steal requests with rejects so no
+	// thief blocks forever on a response.
+	w.drainRejects()
+	return w.ctr
+}
+
+// exploreSlice expands up to PollInterval nodes (the -i knob).
+func (w *mpiWorker) exploreSlice() {
+	t0 := time.Now()
+	for i := 0; i < w.p.PollInterval && len(w.stack) > 0; i++ {
+		n := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		w.ctr.Nodes++
+		if n.Depth > w.ctr.MaxDepth {
+			w.ctr.MaxDepth = n.Depth
+		}
+		k := w.cfg.NumChildren(n)
+		for j := 0; j < k; j++ {
+			w.stack = append(w.stack, w.cfg.Child(n, j))
+		}
+	}
+	w.ctr.Work += time.Since(t0)
+}
+
+// service answers pending steal requests and token arrivals while busy
+// (the overhead component of Table III).
+func (w *mpiWorker) service() {
+	t0 := time.Now()
+	for {
+		st, ok := w.comm.Iprobe(mpi.AnySource, tagStealReq)
+		if !ok {
+			break
+		}
+		var b [1]byte
+		w.comm.Recv(b[:0], st.Source, tagStealReq)
+		w.answerSteal(st.Source)
+	}
+	// A token can arrive while busy; hold it (forwarded when idle).
+	w.tryTakeToken()
+	w.ctr.Overhead += time.Since(t0)
+}
+
+func (w *mpiWorker) tryTakeToken() {
+	if st, ok := w.comm.Iprobe(mpi.AnySource, tagToken); ok {
+		buf := make([]byte, 9)
+		w.comm.Recv(buf, st.Source, tagToken)
+		w.haveTok = true
+		w.tokColor, w.tokQ = decodeToken(buf)
+	}
+}
+
+// answerSteal sends a chunk if the stack is deep enough, else a reject.
+func (w *mpiWorker) answerSteal(thief int) {
+	if len(w.stack) >= 2*w.p.Chunk {
+		// Steal from the bottom: the oldest nodes, nearest the root,
+		// statistically own the largest subtrees.
+		chunk := make([]Node, w.p.Chunk)
+		copy(chunk, w.stack[:w.p.Chunk])
+		w.stack = append(w.stack[:0], w.stack[w.p.Chunk:]...)
+		w.sendWork(EncodeNodes(chunk), thief, tagStealResp)
+		w.ctr.Released++
+		return
+	}
+	w.comm.Isend(nil, thief, tagStealResp)
+}
+
+// searchForWork is the idle loop: try random victims, answer rejects,
+// move the termination token, watch for done.
+func (w *mpiWorker) searchForWork() {
+	t0 := time.Now()
+	defer func() { w.ctr.Search += time.Since(t0) }()
+
+	p := w.comm.Size()
+	if p == 1 {
+		w.done = true
+		return
+	}
+
+	// Termination token handling while idle.
+	w.forwardTokenIfIdle()
+	if w.done {
+		return
+	}
+
+	// Pick a victim and issue a two-sided steal.
+	victim := w.rng.Intn(p - 1)
+	if victim >= w.comm.Rank() {
+		victim++
+	}
+	w.comm.Isend(nil, victim, tagStealReq)
+	resp := w.comm.IrecvAdopt(victim, tagStealResp)
+
+	for {
+		if st, ok := resp.Test(); ok {
+			if st.Bytes > 0 {
+				w.recvWork()
+				w.stack = append(w.stack, DecodeNodes(resp.Payload())...)
+				w.ctr.Steals++
+			} else {
+				w.ctr.FailedSteals++
+			}
+			return
+		}
+		// While waiting: reject incoming steals, accept token, check done.
+		if st, ok := w.comm.Iprobe(mpi.AnySource, tagStealReq); ok {
+			var b [1]byte
+			w.comm.Recv(b[:0], st.Source, tagStealReq)
+			w.comm.Isend(nil, st.Source, tagStealResp)
+		}
+		w.tryTakeToken()
+		w.forwardTokenIfIdle()
+		if w.done {
+			resp.Cancel()
+			return
+		}
+		if _, ok := w.comm.Iprobe(mpi.AnySource, tagDone); ok {
+			var b [1]byte
+			w.comm.Recv(b[:0], mpi.AnySource, tagDone)
+			w.done = true
+			// Safra guarantees no basic message (in particular no work
+			// response) is unconsumed at termination, so cancelling the
+			// posted receive cannot lose tree nodes.
+			resp.Cancel()
+			return
+		}
+	}
+}
+
+// forwardTokenIfIdle implements Safra's ring: the token accumulates each
+// passive machine's message deficit; rank 0 terminates on a white round
+// with zero total deficit.
+func (w *mpiWorker) forwardTokenIfIdle() {
+	if !w.haveTok || len(w.stack) > 0 || w.done {
+		return
+	}
+	p := w.comm.Size()
+	if w.comm.Rank() == 0 {
+		if w.tokenRound && w.tokColor == tokenWhite && w.color == tokenWhite && w.tokQ+w.deficit == 0 {
+			// Quiescent and no basic messages in flight: terminate.
+			for r := 1; r < p; r++ {
+				w.comm.Isend(nil, r, tagDone)
+			}
+			w.done = true
+			return
+		}
+		// Start a fresh white round with q = 0.
+		w.tokenRound = true
+		w.color = tokenWhite
+		w.haveTok = false
+		w.comm.Isend(encodeToken(tokenWhite, 0), 1%p, tagToken)
+		return
+	}
+	out := w.tokColor
+	if w.color == tokenBlack {
+		out = tokenBlack
+	}
+	w.color = tokenWhite
+	w.haveTok = false
+	w.comm.Isend(encodeToken(out, w.tokQ+w.deficit), (w.comm.Rank()+1)%p, tagToken)
+}
+
+// drainRejects answers straggler steal requests after termination.
+func (w *mpiWorker) drainRejects() {
+	for {
+		st, ok := w.comm.Iprobe(mpi.AnySource, tagStealReq)
+		if !ok {
+			return
+		}
+		var b [1]byte
+		w.comm.Recv(b[:0], st.Source, tagStealReq)
+		w.comm.Isend(nil, st.Source, tagStealResp)
+	}
+}

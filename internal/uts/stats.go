@@ -1,0 +1,68 @@
+package uts
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params are the benchmark's tuning knobs: -c (chunk size, nodes moved
+// per steal) and -i (polling interval, nodes explored between progress
+// checks), exactly the two parameters the paper sweeps.
+type Params struct {
+	Chunk        int
+	PollInterval int
+}
+
+// DefaultParams match the paper's best HCMPI configuration on Jaguar
+// (-c 8 -i 4).
+var DefaultParams = Params{Chunk: 8, PollInterval: 4}
+
+func (p Params) normalized() Params {
+	if p.Chunk <= 0 {
+		p.Chunk = 8
+	}
+	if p.PollInterval <= 0 {
+		p.PollInterval = 4
+	}
+	return p
+}
+
+// Counters is the per-rank profile the paper's Table III reports: the
+// execution-time split into work / overhead / search / idle, plus steal
+// traffic.
+type Counters struct {
+	Nodes    int64
+	MaxDepth int32
+
+	Work     time.Duration // exploring tree nodes
+	Overhead time.Duration // servicing others' steal requests while busy
+	Search   time.Duration // globally looking for work
+	Idle     time.Duration // startup/termination
+
+	Steals       int64 // successful steals (work received)
+	FailedSteals int64 // steal requests answered with nothing
+	LocalSteals  int64 // intra-node shared-memory steals (HCMPI only)
+	Released     int64 // chunks released to thieves
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Nodes += other.Nodes
+	if other.MaxDepth > c.MaxDepth {
+		c.MaxDepth = other.MaxDepth
+	}
+	c.Work += other.Work
+	c.Overhead += other.Overhead
+	c.Search += other.Search
+	c.Idle += other.Idle
+	c.Steals += other.Steals
+	c.FailedSteals += other.FailedSteals
+	c.LocalSteals += other.LocalSteals
+	c.Released += other.Released
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("nodes=%d depth=%d work=%v ovh=%v search=%v steals=%d fails=%d",
+		c.Nodes, c.MaxDepth, c.Work.Round(time.Microsecond), c.Overhead.Round(time.Microsecond),
+		c.Search.Round(time.Microsecond), c.Steals, c.FailedSteals)
+}

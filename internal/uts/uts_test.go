@@ -1,0 +1,229 @@
+package uts
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/netsim"
+)
+
+func TestTreeDeterminism(t *testing.T) {
+	n1, d1 := T1Small.SeqCount()
+	n2, d2 := T1Small.SeqCount()
+	if n1 != n2 || d1 != d2 {
+		t.Fatalf("SeqCount not deterministic: %d/%d vs %d/%d", n1, d1, n2, d2)
+	}
+	if n1 < 100 {
+		t.Fatalf("T1Small suspiciously small: %d", n1)
+	}
+}
+
+func TestGeometricVsBinomialShapes(t *testing.T) {
+	gn, gd := T1Small.SeqCount()
+	bn, bd := Config{Name: "b", Type: Binomial, Hash: HashSHA1, Seed: 7, B0: 50, Q: 0.12, M: 8}.SeqCount()
+	if gd != int32(T1Small.GenMx) {
+		t.Errorf("geometric max depth %d want %d (full depth reached)", gd, T1Small.GenMx)
+	}
+	if bd <= 1 {
+		t.Errorf("binomial depth %d", bd)
+	}
+	if gn == bn {
+		t.Error("suspicious identical sizes")
+	}
+}
+
+func TestSplitMixMatchesItself(t *testing.T) {
+	c := T3Med
+	n1, _ := c.SeqCount()
+	n2, _ := c.SeqCount()
+	if n1 != n2 {
+		t.Fatalf("splitmix tree not deterministic: %d vs %d", n1, n2)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	c := T1Small
+	ns := []Node{c.Root(), c.Child(c.Root(), 0), c.Child(c.Root(), 3)}
+	got := DecodeNodes(EncodeNodes(ns))
+	if len(got) != len(ns) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range ns {
+		if got[i] != ns[i] {
+			t.Fatalf("node %d mismatch", i)
+		}
+	}
+}
+
+func TestBinomialExpectedSize(t *testing.T) {
+	c := Config{Type: Binomial, B0: 100, Q: 0.2, M: 4}
+	if got := c.ExpectedSize(); got < 500.9 || got > 501.1 {
+		t.Fatalf("expected size %v want ~501", got)
+	}
+	if T1Small.ExpectedSize() == T1Small.ExpectedSize() { // NaN check
+		t.Fatal("geometric ExpectedSize should be NaN")
+	}
+}
+
+// sumCounts allreduces per-rank node counts.
+func sumCounts(c *mpi.Comm, local int64) int64 {
+	return mpi.DecodeInt64(c.Allreduce(mpi.EncodeInt64(local), mpi.Int64, mpi.OpSum))
+}
+
+func TestRunMPIMatchesSequential(t *testing.T) {
+	want, _ := T1Small.SeqCount()
+	for _, ranks := range []int{1, 2, 4} {
+		var mu sync.Mutex
+		totals := map[int]int64{}
+		w := mpi.NewWorld(ranks)
+		w.Run(func(c *mpi.Comm) {
+			ctr := RunMPI(c, T1Small, Params{Chunk: 4, PollInterval: 8})
+			total := sumCounts(c, ctr.Nodes)
+			mu.Lock()
+			totals[c.Rank()] = total
+			mu.Unlock()
+		})
+		for r, total := range totals {
+			if total != want {
+				t.Fatalf("ranks=%d rank %d: total %d want %d", ranks, r, total, want)
+			}
+		}
+	}
+}
+
+func TestRunMPIBinomialTree(t *testing.T) {
+	cfg := Config{Name: "bt", Type: Binomial, Hash: HashSHA1, Seed: 11, B0: 64, Q: 0.2, M: 4}
+	want, _ := cfg.SeqCount()
+	w := mpi.NewWorld(3)
+	w.Run(func(c *mpi.Comm) {
+		ctr := RunMPI(c, cfg, Params{Chunk: 2, PollInterval: 4})
+		if total := sumCounts(c, ctr.Nodes); total != want {
+			t.Errorf("rank %d total %d want %d", c.Rank(), total, want)
+		}
+	})
+}
+
+func TestRunHCMPIMatchesSequential(t *testing.T) {
+	want, _ := T1Small.SeqCount()
+	for _, tc := range []struct{ ranks, workers int }{{1, 1}, {1, 3}, {2, 2}, {3, 2}} {
+		w := mpi.NewWorld(tc.ranks)
+		var mu sync.Mutex
+		var grand int64
+		w.Run(func(c *mpi.Comm) {
+			n := hcmpi.NewNode(c, hcmpi.Config{Workers: tc.workers})
+			ctr := RunHCMPI(n, T1Small, Params{Chunk: 4, PollInterval: 8})
+			mu.Lock()
+			grand += ctr.Nodes
+			mu.Unlock()
+			n.Close()
+		})
+		if grand != want {
+			t.Fatalf("ranks=%d workers=%d: total %d want %d", tc.ranks, tc.workers, grand, want)
+		}
+	}
+}
+
+func TestRunHCMPIStealActivity(t *testing.T) {
+	// Two ranks: rank 1 starts with nothing, so steal traffic (successful
+	// or failed, local or global) must appear somewhere.
+	w := mpi.NewWorld(2)
+	var mu sync.Mutex
+	var total Counters
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: 2})
+		ctr := RunHCMPI(n, T1Med, Params{Chunk: 8, PollInterval: 16})
+		mu.Lock()
+		total.Add(ctr)
+		mu.Unlock()
+		n.Close()
+	})
+	want, _ := T1Med.SeqCount()
+	if total.Nodes != want {
+		t.Fatalf("nodes %d want %d", total.Nodes, want)
+	}
+	if total.Steals+total.FailedSteals+total.LocalSteals == 0 {
+		t.Error("no steal activity at all with an idle second rank")
+	}
+}
+
+func TestRunHybridMatchesSequential(t *testing.T) {
+	want, _ := T1Small.SeqCount()
+	for _, tc := range []struct {
+		ranks, threads int
+		mode           HybridMode
+	}{{1, 2, HybridImproved}, {2, 2, HybridImproved}, {3, 2, HybridImproved}, {2, 2, HybridStaged}} {
+		w := mpi.NewWorld(tc.ranks)
+		var mu sync.Mutex
+		var grand int64
+		w.Run(func(c *mpi.Comm) {
+			ctr := RunHybrid(c, T1Small, Params{Chunk: 4, PollInterval: 8}, tc.threads, tc.mode)
+			mu.Lock()
+			grand += ctr.Nodes
+			mu.Unlock()
+		})
+		if grand != want {
+			t.Fatalf("%+v: total %d want %d", tc, grand, want)
+		}
+	}
+}
+
+func TestCountersAggregation(t *testing.T) {
+	a := Counters{Nodes: 5, MaxDepth: 3, Steals: 1}
+	b := Counters{Nodes: 7, MaxDepth: 9, FailedSteals: 2}
+	a.Add(b)
+	if a.Nodes != 12 || a.MaxDepth != 9 || a.Steals != 1 || a.FailedSteals != 2 {
+		t.Fatalf("aggregated %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	p := Params{}.normalized()
+	if p.Chunk <= 0 || p.PollInterval <= 0 {
+		t.Fatalf("normalized %+v", p)
+	}
+}
+
+func TestRunHCMPIUnderLatencyAndJitter(t *testing.T) {
+	// Realistic conditions: inter-node latency with jitter; counts must
+	// still be exact (termination soundness under message reordering
+	// pressure).
+	want, _ := T1Small.SeqCount()
+	net := netsim.Params{InterLatency: 50 * time.Microsecond, Jitter: 100 * time.Microsecond}
+	w := mpi.NewWorld(3, mpi.WithNetwork(net))
+	var mu sync.Mutex
+	var total int64
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: 2})
+		ctr := RunHCMPI(n, T1Small, Params{Chunk: 4, PollInterval: 8})
+		mu.Lock()
+		total += ctr.Nodes
+		mu.Unlock()
+		n.Close()
+	})
+	if total != want {
+		t.Fatalf("total %d want %d", total, want)
+	}
+}
+
+func TestRunMPIUnderLatencyAndJitter(t *testing.T) {
+	want, _ := T1Small.SeqCount()
+	net := netsim.Params{InterLatency: 30 * time.Microsecond, Jitter: 80 * time.Microsecond}
+	w := mpi.NewWorld(4, mpi.WithNetwork(net))
+	var mu sync.Mutex
+	var total int64
+	w.Run(func(c *mpi.Comm) {
+		ctr := RunMPI(c, T1Small, Params{Chunk: 2, PollInterval: 4})
+		mu.Lock()
+		total += ctr.Nodes
+		mu.Unlock()
+	})
+	if total != want {
+		t.Fatalf("total %d want %d", total, want)
+	}
+}
