@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: tier1 verify test chaos vet
+
+# Fast correctness gate: what the seed repo guarantees.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Full CI gate: vet + the entire suite (chaos tests included) under the
+# race detector, uncached.
+verify:
+	$(GO) vet ./... && $(GO) test -race -count=1 ./...
+
+test:
+	$(GO) test ./...
+
+# Just the fault-injection suites (they honor -short; this runs them long).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestFault|Test.*(Drop|Partition|Crash|Stall|Cancel)' \
+		./internal/netsim/ ./internal/mpi/ ./internal/hcmpi/
+
+vet:
+	$(GO) vet ./...

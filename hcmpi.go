@@ -35,6 +35,8 @@
 package hcmpi
 
 import (
+	"time"
+
 	"hcmpi/internal/dddf"
 	"hcmpi/internal/hc"
 	"hcmpi/internal/hcmpi"
@@ -75,6 +77,13 @@ type (
 	DDDF = dddf.Handle
 	// NetworkParams models the interconnect (latency/bandwidth classes).
 	NetworkParams = netsim.Params
+	// Faults is a deterministic fault-injection schedule for the
+	// interconnect: seeded per-link drop/duplication/delay-spike
+	// probabilities and partition windows. Replay a failing chaos run by
+	// reusing its seed.
+	Faults = netsim.Faults
+	// FaultPartition blackholes a link for a window of messages.
+	FaultPartition = netsim.Partition
 	// Datatype and Op type reductions (HCMPI_INT / HCMPI_SUM ...).
 	Datatype = mpi.Datatype
 	// Op is a reduction operator.
@@ -111,6 +120,19 @@ const (
 	AnyTag    = mpi.AnyTag
 )
 
+// Fault-plane sentinel errors, surfaced on Status.Err. A failed operation
+// still completes its request DDF — awaiting tasks run and finish scopes
+// drain — so programs observe faults as values, never as hangs.
+var (
+	// ErrTimeout: the operation overran Config.OpTimeout.
+	ErrTimeout = mpi.ErrTimeout
+	// ErrRankFailed: the peer rank crashed (fail-stop).
+	ErrRankFailed = mpi.ErrRankFailed
+	// ErrMessageDropped: the network dropped the message and the
+	// communication worker's retry budget is exhausted.
+	ErrMessageDropped = mpi.ErrMessageDropped
+)
+
 // NewDDF creates an empty shared-memory data-driven future (DDF_CREATE).
 func NewDDF() *DDF { return hc.NewDDF() }
 
@@ -128,6 +150,19 @@ type Config struct {
 	// RanksPerNode places consecutive ranks on a common "node" for
 	// intra- vs inter-node link classes (default 1).
 	RanksPerNode int
+	// Faults, when non-nil, installs a deterministic fault-injection
+	// schedule on the interconnect (chaos testing). Zero-valued faults
+	// inject nothing and cost nothing.
+	Faults *Faults
+	// OpTimeout bounds every communication operation: instead of
+	// blocking forever under a partition or crashed rank, the operation
+	// fails with ErrTimeout in its Status. 0 disables timeouts.
+	OpTimeout time.Duration
+	// SendRetries and RetryBackoff tune the communication worker's
+	// retransmission of network-dropped sends (default 8 retries, 100µs
+	// base backoff doubling per attempt).
+	SendRetries  int
+	RetryBackoff time.Duration
 }
 
 // Run launches an SPMD HCMPI job of `ranks` ranks in-process, each with
@@ -140,16 +175,28 @@ func Run(ranks, workers int, body func(n *Node, ctx *Ctx)) {
 
 // RunConfig is Run with full control over the job configuration.
 func RunConfig(ranks int, cfg Config, body func(n *Node, ctx *Ctx)) {
+	w := mpi.NewWorld(ranks, cfg.worldOptions()...)
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, cfg.nodeConfig())
+		n.Main(func(ctx *hc.Ctx) { body(n, ctx) })
+		n.Close()
+	})
+}
+
+func (cfg Config) worldOptions() []mpi.Option {
 	opts := []mpi.Option{mpi.WithNetwork(cfg.Net)}
 	if cfg.RanksPerNode > 0 {
 		opts = append(opts, mpi.WithRanksPerNode(cfg.RanksPerNode))
 	}
-	w := mpi.NewWorld(ranks, opts...)
-	w.Run(func(c *mpi.Comm) {
-		n := hcmpi.NewNode(c, hcmpi.Config{Workers: cfg.Workers})
-		n.Main(func(ctx *hc.Ctx) { body(n, ctx) })
-		n.Close()
-	})
+	if cfg.Faults != nil {
+		opts = append(opts, mpi.WithFaults(*cfg.Faults))
+	}
+	return opts
+}
+
+func (cfg Config) nodeConfig() hcmpi.Config {
+	return hcmpi.Config{Workers: cfg.Workers, OpTimeout: cfg.OpTimeout,
+		SendRetries: cfg.SendRetries, RetryBackoff: cfg.RetryBackoff}
 }
 
 // RunDistributed joins this OS process as one rank of a real multi-process
@@ -175,13 +222,9 @@ func RunDistributed(rank int, addrs []string, workers int, body func(n *Node, ct
 // optionally validates put sizes (DDF_SIZE).
 func RunDDDF(ranks int, cfg Config, home func(guid int64) int, size func(guid int64) int,
 	body func(s *DDDFSpace, ctx *Ctx)) {
-	opts := []mpi.Option{mpi.WithNetwork(cfg.Net)}
-	if cfg.RanksPerNode > 0 {
-		opts = append(opts, mpi.WithRanksPerNode(cfg.RanksPerNode))
-	}
-	w := mpi.NewWorld(ranks, opts...)
+	w := mpi.NewWorld(ranks, cfg.worldOptions()...)
 	w.Run(func(c *mpi.Comm) {
-		n := hcmpi.NewNode(c, hcmpi.Config{Workers: cfg.Workers})
+		n := hcmpi.NewNode(c, cfg.nodeConfig())
 		var sz dddf.SizeFunc
 		if size != nil {
 			sz = size

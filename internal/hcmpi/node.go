@@ -16,6 +16,7 @@
 package hcmpi
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -114,6 +115,13 @@ type commTask struct {
 	// resultParts carries gather-style collective results.
 	resultParts [][]byte
 	resultBuf   []byte
+
+	// Fault-plane bookkeeping: retransmission attempts so far, the
+	// earliest instant the next attempt may be issued (capped exponential
+	// backoff), and the operation's overall deadline (zero = none).
+	retries  int
+	retryAt  time.Time
+	deadline time.Time
 }
 
 func (t *commTask) setState(s CommState) { t.state.Store(int32(s)) }
@@ -130,6 +138,7 @@ func (t *commTask) reset() {
 	t.req, t.request = nil, nil
 	t.issue, t.custom = nil, nil
 	t.cancelTarget = nil
+	t.retries, t.retryAt, t.deadline = 0, time.Time{}, time.Time{}
 }
 
 // Status is the HCMPI completion record (HCMPI_Status).
@@ -138,6 +147,12 @@ type Status struct {
 	Tag       int
 	Bytes     int
 	Cancelled bool
+	// Err is non-nil when the operation failed instead of completing:
+	// mpi.ErrTimeout, mpi.ErrRankFailed, or mpi.ErrMessageDropped (after
+	// the retry budget). A failed request still completes its DDF, so
+	// awaiting tasks run (and finish scopes drain) instead of
+	// deadlocking; they observe the error through this field.
+	Err error
 	// Payload is set for operations that adopt variable-size data
 	// (RecvBytes-style receives and collective results).
 	Payload []byte
@@ -191,6 +206,20 @@ type Config struct {
 	// PollSleep is how long the communication worker sleeps when it finds
 	// neither new communication tasks nor progress on active ones.
 	PollSleep time.Duration
+	// SendRetries is how many times the communication worker re-issues a
+	// send whose message the network reported dropped. Sends are
+	// idempotent at this layer (the payload was never delivered), so
+	// retransmission is safe. Default 8; negative disables retries.
+	SendRetries int
+	// RetryBackoff is the backoff before the first re-issue; it doubles
+	// per retry, capped at 64x the base. Default 100µs.
+	RetryBackoff time.Duration
+	// OpTimeout bounds every communication operation (point-to-point,
+	// one-sided, and collective): an operation not complete within the
+	// window fails with mpi.ErrTimeout in its Status instead of blocking
+	// its awaiters forever. 0 (the default) disables timeouts; chaos
+	// runs under partitions or rank crashes should set it.
+	OpTimeout time.Duration
 }
 
 // Node is one HCMPI process: computation workers + a dedicated
@@ -215,6 +244,9 @@ type Node struct {
 
 	active    []*commTask
 	listeners []*listener
+	// pendingRetry holds dropped sends waiting out their backoff before
+	// the worker re-issues them.
+	pendingRetry []*commTask
 
 	stop          atomic.Bool
 	stopped       chan struct{}
@@ -249,6 +281,11 @@ type Stats struct {
 	Allocated   atomic.Int64
 	Polls       atomic.Int64
 	Dispatched  atomic.Int64
+	// Fault-plane counters: send re-issues after a network drop, timed
+	// out operations, and operations completed with a non-nil Err.
+	Retries  atomic.Int64
+	Timeouts atomic.Int64
+	Failures atomic.Int64
 }
 
 // NewNode starts an HCMPI process over MPI rank c with cfg.Workers
@@ -259,6 +296,12 @@ func NewNode(c *mpi.Comm, cfg Config) *Node {
 	}
 	if cfg.PollSleep == 0 {
 		cfg.PollSleep = 20 * time.Microsecond
+	}
+	if cfg.SendRetries == 0 {
+		cfg.SendRetries = 8
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Microsecond
 	}
 	n := &Node{
 		comm:      c,
@@ -332,6 +375,9 @@ func (n *Node) newRequest() *Request { return &Request{ddf: hc.NewDDF()} }
 // (ALLOCATED state).
 func (n *Node) allocTask() *commTask {
 	if t, ok := n.freelist.Pop(); ok {
+		if s := t.State(); s != StateAvailable {
+			panic(fmt.Sprintf("hcmpi: free-list handed out a %v task", s))
+		}
 		n.stats.Recycled.Add(1)
 		t.setState(StateAllocated)
 		return t
@@ -349,8 +395,14 @@ func (n *Node) prescribe(t *commTask) {
 	n.worklist.Push(t)
 }
 
-// retire recycles a completed task structure.
+// retire recycles a completed task structure. Only COMPLETED tasks may be
+// recycled: a task still ACTIVE (polled, awaiting retry, or running a
+// collective) reaching here would be a use-after-free in the making, so
+// the lifecycle is asserted, which the recycling stress test leans on.
 func (n *Node) retire(t *commTask) {
+	if s := t.State(); s != StateCompleted {
+		panic(fmt.Sprintf("hcmpi: retiring a %v task", s))
+	}
 	t.reset()
 	t.setState(StateAvailable)
 	n.freelist.Push(t)
@@ -377,18 +429,59 @@ func (n *Node) commWorker() {
 			progressed = true
 		}
 
-		// 2. Poll ACTIVE point-to-point operations (MPI_Test).
+		// 2. Poll ACTIVE point-to-point operations (MPI_Test). Errored
+		// completions either schedule a retransmit (dropped idempotent
+		// sends) or surface through the request DDF; deadline overruns
+		// are failed with ErrTimeout so no awaiter blocks forever.
 		n.stats.Polls.Add(1)
+		var now time.Time
 		live := n.active[:0]
 		for _, t := range n.active {
 			if st, ok := t.req.Test(); ok {
-				n.completeP2P(t, st)
+				if n.shouldRetry(t, st) {
+					n.scheduleRetry(t)
+				} else {
+					n.finishP2P(t, st)
+				}
 				progressed = true
-			} else {
-				live = append(live, t)
+				continue
 			}
+			if !t.deadline.IsZero() {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				if now.After(t.deadline) {
+					n.timeoutTask(t)
+					progressed = true
+					continue
+				}
+			}
+			live = append(live, t)
 		}
 		n.active = live
+
+		// 2b. Re-issue dropped sends whose backoff has elapsed.
+		if len(n.pendingRetry) > 0 {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			waiting := n.pendingRetry[:0]
+			for _, t := range n.pendingRetry {
+				switch {
+				case !t.deadline.IsZero() && now.After(t.deadline):
+					n.stats.Timeouts.Add(1)
+					n.stats.Failures.Add(1)
+					n.completeLocal(t, &Status{Err: mpi.ErrTimeout})
+					progressed = true
+				case !now.Before(t.retryAt):
+					n.reissueSend(t)
+					progressed = true
+				default:
+					waiting = append(waiting, t)
+				}
+			}
+			n.pendingRetry = waiting
+		}
 
 		// 3. Poll listeners.
 		for _, l := range n.listeners {
@@ -420,7 +513,8 @@ func (n *Node) commWorker() {
 			idle = 0
 			continue
 		}
-		if n.stop.Load() && n.worklist.Empty() && len(n.active) == 0 && n.collsInFlight.Load() == 0 {
+		if n.stop.Load() && n.worklist.Empty() && len(n.active) == 0 &&
+			len(n.pendingRetry) == 0 && n.collsInFlight.Load() == 0 {
 			n.haltListeners()
 			return
 		}
@@ -442,6 +536,77 @@ func (n *Node) haltListeners() {
 	}
 }
 
+// shouldRetry reports whether an errored completion is worth re-issuing:
+// only sends (idempotent — a dropped message was never delivered), only
+// on the transport's drop signal, and only within the retry budget. Rank
+// failures and timeouts are terminal.
+func (n *Node) shouldRetry(t *commTask, st *mpi.Status) bool {
+	return st.Err != nil && t.kind == kindIsend &&
+		errors.Is(st.Err, mpi.ErrMessageDropped) && t.retries < n.cfg.SendRetries
+}
+
+// scheduleRetry parks a dropped send until its backoff elapses: the delay
+// doubles per attempt from RetryBackoff, capped at 64x the base.
+func (n *Node) scheduleRetry(t *commTask) {
+	n.stats.Retries.Add(1)
+	backoff := n.cfg.RetryBackoff << t.retries
+	if cap := n.cfg.RetryBackoff << 6; backoff > cap {
+		backoff = cap
+	}
+	t.retries++
+	t.retryAt = time.Now().Add(backoff)
+	n.pendingRetry = append(n.pendingRetry, t)
+}
+
+// reissueSend re-issues a dropped send's MPI operation and returns the
+// task to the polled ACTIVE set.
+func (n *Node) reissueSend(t *commTask) {
+	if t.tag < 0 {
+		t.req = n.comm.IsendReserved(t.buf, t.peer, t.tag)
+	} else {
+		t.req = n.comm.Isend(t.buf, t.peer, t.tag)
+	}
+	n.active = append(n.active, t)
+}
+
+// timeoutTask fails an operation that overran OpTimeout. Receives are
+// withdrawn through Cancel, whose posted-queue commit point decides races
+// against a concurrent matching delivery: if the delivery won, the real
+// completion is published instead of the timeout.
+func (n *Node) timeoutTask(t *commTask) {
+	if !t.req.Cancel() {
+		if st, ok := t.req.Test(); ok {
+			n.finishP2P(t, st)
+			return
+		}
+		// A send still in flight (or a receive matched but not yet
+		// filled): abandon the MPI request; its late completion is
+		// ignored because the task is no longer polled.
+	}
+	n.stats.Timeouts.Add(1)
+	n.stats.Failures.Add(1)
+	n.completeLocal(t, &Status{Err: mpi.ErrTimeout})
+}
+
+// finishP2P publishes a (possibly errored) terminal p2p completion.
+func (n *Node) finishP2P(t *commTask, st *mpi.Status) {
+	if st.Err != nil {
+		n.stats.Failures.Add(1)
+		if errors.Is(st.Err, mpi.ErrTimeout) {
+			n.stats.Timeouts.Add(1)
+		}
+	}
+	n.completeP2P(t, st)
+}
+
+// armDeadline stamps the operation's overall deadline when timeouts are
+// configured.
+func (n *Node) armDeadline(t *commTask) {
+	if d := n.cfg.OpTimeout; d > 0 {
+		t.deadline = time.Now().Add(d)
+	}
+}
+
 // dispatch issues one prescribed task. Point-to-point operations become
 // ACTIVE and are polled; collectives block the communication worker until
 // done, exactly as the paper describes.
@@ -455,6 +620,7 @@ func (n *Node) dispatch(t *commTask) {
 			t.req = n.comm.Isend(t.buf, t.peer, t.tag)
 		}
 		t.setState(StateActive)
+		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindIrecv:
 		n.stats.Recvs.Add(1)
@@ -468,6 +634,7 @@ func (n *Node) dispatch(t *commTask) {
 			t.req = n.comm.Irecv(t.buf, t.peer, t.tag)
 		}
 		t.setState(StateActive)
+		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindListen:
 		l := &listener{tag: t.tag, fn: t.listenFn}
@@ -478,6 +645,7 @@ func (n *Node) dispatch(t *commTask) {
 		n.stats.Sends.Add(1)
 		t.req = t.issue()
 		t.setState(StateActive)
+		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindBarrier, kindBcast, kindReduce, kindAllreduce, kindScan,
 		kindGather, kindAllgather, kindScatter, kindCustom:
@@ -520,39 +688,70 @@ func (n *Node) collectiveRunner() {
 }
 
 func (n *Node) runCollective(t *commTask) {
-	var st *Status
-	switch t.kind {
-	case kindBarrier:
-		n.comm.Barrier()
-		st = &Status{}
-	case kindBcast:
-		n.comm.Bcast(t.buf, t.peer)
-		st = &Status{Bytes: len(t.buf), Payload: t.buf}
-	case kindReduce:
-		res := n.comm.Reduce(t.buf, t.dt, t.op, t.peer)
-		st = &Status{Bytes: len(res), Payload: res}
-	case kindAllreduce:
-		res := n.comm.Allreduce(t.buf, t.dt, t.op)
-		st = &Status{Bytes: len(res), Payload: res}
-	case kindScan:
-		res := n.comm.Scan(t.buf, t.dt, t.op)
-		st = &Status{Bytes: len(res), Payload: res}
-	case kindGather:
-		st = &Status{Parts: n.comm.Gather(t.buf, t.peer)}
-	case kindAllgather:
-		st = &Status{Parts: n.comm.Allgather(t.buf)}
-	case kindScatter:
-		res := n.comm.Scatter(t.parts, t.peer)
-		st = &Status{Bytes: len(res), Payload: res}
-	case kindCustom:
-		st = t.custom()
+	thunk := n.collectiveThunk(t)
+	if n.cfg.OpTimeout <= 0 {
+		n.collDone.Push(&collResult{t: t, st: thunk()})
+		return
 	}
-	n.collDone.Push(&collResult{t: t, st: st})
+	// Watchdog: a collective stuck behind a partition or crashed rank is
+	// abandoned with ErrTimeout so its awaiters (and Close's final
+	// barrier) unblock. The thunk captured every task field it needs, so
+	// the abandoned goroutine never touches the (recycled) task; it is
+	// leaked only if the blocking MPI call never returns, which under a
+	// permanent partition is the faithful outcome.
+	done := make(chan *Status, 1)
+	go func() { done <- thunk() }()
+	timer := time.NewTimer(n.cfg.OpTimeout)
+	select {
+	case st := <-done:
+		timer.Stop()
+		n.collDone.Push(&collResult{t: t, st: st})
+	case <-timer.C:
+		n.stats.Timeouts.Add(1)
+		n.stats.Failures.Add(1)
+		n.collDone.Push(&collResult{t: t, st: &Status{Err: mpi.ErrTimeout}})
+	}
+}
+
+// collectiveThunk snapshots the task's operation into a self-contained
+// closure, so a timed-out collective can keep running after the task
+// structure has been completed and recycled.
+func (n *Node) collectiveThunk(t *commTask) func() *Status {
+	kind, buf, peer, dt, op, parts, custom := t.kind, t.buf, t.peer, t.dt, t.op, t.parts, t.custom
+	return func() *Status {
+		switch kind {
+		case kindBarrier:
+			n.comm.Barrier()
+			return &Status{}
+		case kindBcast:
+			n.comm.Bcast(buf, peer)
+			return &Status{Bytes: len(buf), Payload: buf}
+		case kindReduce:
+			res := n.comm.Reduce(buf, dt, op, peer)
+			return &Status{Bytes: len(res), Payload: res}
+		case kindAllreduce:
+			res := n.comm.Allreduce(buf, dt, op)
+			return &Status{Bytes: len(res), Payload: res}
+		case kindScan:
+			res := n.comm.Scan(buf, dt, op)
+			return &Status{Bytes: len(res), Payload: res}
+		case kindGather:
+			return &Status{Parts: n.comm.Gather(buf, peer)}
+		case kindAllgather:
+			return &Status{Parts: n.comm.Allgather(buf)}
+		case kindScatter:
+			res := n.comm.Scatter(parts, peer)
+			return &Status{Bytes: len(res), Payload: res}
+		case kindCustom:
+			return custom()
+		}
+		panic(fmt.Sprintf("hcmpi: collective thunk for kind %d", kind))
+	}
 }
 
 // completeP2P publishes a point-to-point (or one-sided) completion.
 func (n *Node) completeP2P(t *commTask, st *mpi.Status) {
-	hst := &Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes, Cancelled: st.Cancelled}
+	hst := &Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes, Cancelled: st.Cancelled, Err: st.Err}
 	if t.takeAll || t.req.Payload() != nil {
 		hst.Payload = t.req.Payload()
 	}

@@ -1,0 +1,74 @@
+package hcmpi
+
+import (
+	"fmt"
+	"testing"
+
+	"hcmpi/internal/hc"
+	"hcmpi/internal/netsim"
+)
+
+// Stress the communication-task recycling path — the
+// ALLOCATED→PRESCRIBED→ACTIVE→COMPLETED→AVAILABLE free-list — with many
+// computation tasks concurrently allocating, completing, and cancelling
+// operations. The lifecycle assertions in allocTask/retire panic on any
+// state-machine violation (double retire, dirty free-list handout), and
+// the test is meant to run under -race to catch unsynchronized reuse.
+func TestRecycleStressUnderConcurrency(t *testing.T) {
+	const spawners = 8
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	cfg := Config{Workers: 4}
+	runChaos(t, 2, netsim.Faults{}, cfg, func(n *Node, ctx *hc.Ctx) {
+		peer := 1 - n.Rank()
+		ctx.Finish(func(ctx *hc.Ctx) {
+			for k := 0; k < spawners; k++ {
+				k := k
+				ctx.Async(func(ctx *hc.Ctx) {
+					base := 100 + k*1000
+					buf := make([]byte, 16)
+					junk := make([]byte, 16)
+					for i := 0; i < iters; i++ {
+						tag := base + i%7
+						payload := []byte(fmt.Sprintf("%d.%d", k, i))
+						// Send first on both sides: sends complete on
+						// network delivery, not on matching, so the
+						// symmetric exchange cannot deadlock.
+						if st := n.Send(ctx, payload, peer, tag); st.Err != nil {
+							t.Errorf("send k=%d i=%d: %v", k, i, st.Err)
+							return
+						}
+						st := n.Recv(ctx, buf, peer, tag)
+						if st.Err != nil || string(buf[:st.Bytes]) != string(payload) {
+							t.Errorf("recv k=%d i=%d: %+v got %q", k, i, st, buf[:st.Bytes])
+							return
+						}
+						if i%5 == 0 {
+							// Churn the cancel path: a receive nobody will
+							// match, cancelled immediately. Its task and the
+							// cancel task itself both cycle the free-list.
+							r := n.Irecv(junk, peer, base+900)
+							if !n.Cancel(ctx, r) {
+								t.Errorf("cancel of unmatched recv failed (k=%d i=%d)", k, i)
+								return
+							}
+						}
+					}
+				})
+			}
+		})
+		// Quiescent: every request completed, so every allocated task was
+		// dispatched. The books must balance exactly.
+		st := n.Stats()
+		dispatched, allocated, recycled := st.Dispatched.Load(), st.Allocated.Load(), st.Recycled.Load()
+		if dispatched != allocated+recycled {
+			t.Errorf("rank %d: dispatched %d != allocated %d + recycled %d",
+				n.Rank(), dispatched, allocated, recycled)
+		}
+		if recycled == 0 {
+			t.Errorf("rank %d: free-list never reused a task across %d ops", n.Rank(), spawners*iters)
+		}
+	})
+}

@@ -67,7 +67,7 @@ func (c *Comm) Scan(data []byte, dt Datatype, op Op) []byte {
 		copy(acc, prev)
 	}
 	if c.rank < c.size-1 {
-		c.isend(acc, c.rank+1, collTag(seq, 2))
+		c.isendRetry(acc, c.rank+1, collTag(seq, 2))
 	}
 	return acc
 }
@@ -85,7 +85,7 @@ func (c *Comm) Scatter(parts [][]byte, root int) []byte {
 			if r == root {
 				continue
 			}
-			c.isend(parts[r], r, collTag(seq, 3))
+			c.isendRetry(parts[r], r, collTag(seq, 3))
 		}
 		own := make([]byte, len(parts[root]))
 		copy(own, parts[root])
@@ -102,7 +102,7 @@ func (c *Comm) Gather(data []byte, root int) [][]byte {
 	seq := c.nextCollSeq()
 	p := c.size
 	if c.rank != root {
-		c.isend(data, root, collTag(seq, 4))
+		c.isendRetry(data, root, collTag(seq, 4))
 		return nil
 	}
 	out := make([][]byte, p)
@@ -144,7 +144,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 			continue
 		}
 		reqs[r] = c.irecv(nil, r, collTag(seq, 5), true)
-		c.isend(data, r, collTag(seq, 5))
+		c.isendRetry(data, r, collTag(seq, 5))
 	}
 	for r := 0; r < p; r++ {
 		if r == c.rank {
@@ -174,7 +174,7 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 			continue
 		}
 		reqs[r] = c.irecv(nil, r, collTag(seq, 6), true)
-		c.isend(parts[r], r, collTag(seq, 6))
+		c.isendRetry(parts[r], r, collTag(seq, 6))
 	}
 	for r := 0; r < p; r++ {
 		if r == c.rank {

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hcmpi/internal/netsim"
+)
+
+// chaosSeed keys every seeded schedule in this file. A failing run is
+// replayed exactly by re-running with the seed it logs.
+const chaosSeed = 0xC4A05
+
+// Chaos tests at the raw MPI layer: drops surface ErrMessageDropped,
+// partitions surface ErrTimeout, crashed ranks surface ErrRankFailed —
+// and never a hang.
+
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+}
+
+// With the zero-valued fault config the fault plane stays off entirely:
+// the instant-delivery fast path is kept and no fault counters move.
+func TestZeroFaultsAreFree(t *testing.T) {
+	if (netsim.Faults{}).Enabled() {
+		t.Fatal("zero Faults reports Enabled")
+	}
+	w := NewWorld(2, WithFaults(netsim.Faults{}))
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Isend([]byte("x"), 1, 0)
+	buf := make([]byte, 1)
+	if st := c1.Recv(buf, 0, 0); st.Err != nil || st.Bytes != 1 {
+		t.Fatalf("recv under zero faults: %+v", st)
+	}
+	st := w.Net().Stats()
+	if st.Dropped != 0 || st.Duplicated != 0 || st.Spikes != 0 {
+		t.Fatalf("zero faults moved fault counters: %+v", st)
+	}
+}
+
+// A fully lossy link completes the send request with ErrMessageDropped
+// (the drop notification) instead of leaving it forever pending.
+func TestDroppedSendSurfacesError(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(2, WithFaults(netsim.Faults{Seed: chaosSeed, DropProb: 1.0}))
+	defer w.Close()
+	st, err := w.Comm(0).Isend([]byte("doomed"), 1, 3).WaitErr()
+	if !errors.Is(err, ErrMessageDropped) {
+		t.Fatalf("seed=%#x: want ErrMessageDropped, got st=%+v err=%v", chaosSeed, st, err)
+	}
+}
+
+// Collectives ride the retransmitting send path, so a 10% lossy fabric
+// slows them down but cannot hang or corrupt them.
+func TestCollectivesCompleteUnderDrops(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(4, WithFaults(netsim.Faults{Seed: chaosSeed, DropProb: 0.10}))
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				c.Barrier()
+				got := DecodeInt64s(c.Allreduce(EncodeInt64s([]int64{int64(c.Rank() + 1)}), Int64, OpSum))
+				if got[0] != 10 {
+					t.Errorf("seed=%#x: allreduce iter %d on rank %d = %d, want 10", chaosSeed, iter, c.Rank(), got[0])
+				}
+			}
+		}(w.Comm(r))
+	}
+	wg.Wait()
+	w.Close()
+	if st := w.Net().Stats(); st.Dropped == 0 {
+		t.Fatalf("seed=%#x: chaos run dropped nothing (fault plane inactive?): %+v", chaosSeed, st)
+	}
+}
+
+// A partitioned link must convert blocked receives into ErrTimeout, not
+// hangs; the sender's copies are all dropped.
+func TestPartitionedLinkTimesOut(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(2, WithFaults(netsim.Faults{
+		Seed:       chaosSeed,
+		Partitions: []netsim.Partition{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}},
+	}))
+	defer w.Close()
+
+	sendSt, sendErr := w.Comm(0).Isend([]byte("void"), 1, 1).WaitErr()
+	if !errors.Is(sendErr, ErrMessageDropped) {
+		t.Fatalf("seed=%#x: send across partition: st=%+v err=%v", chaosSeed, sendSt, sendErr)
+	}
+	buf := make([]byte, 4)
+	start := time.Now()
+	_, recvErr := w.Comm(1).IrecvTimeout(buf, 0, 1, 30*time.Millisecond).WaitErr()
+	if !errors.Is(recvErr, ErrTimeout) {
+		t.Fatalf("seed=%#x: recv across partition: err=%v", chaosSeed, recvErr)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("seed=%#x: timeout took %v", chaosSeed, d)
+	}
+}
+
+// SetDeadline applies a default deadline to every subsequent operation.
+func TestCommSetDeadline(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	c.SetDeadline(20 * time.Millisecond)
+	buf := make([]byte, 1)
+	if _, err := c.Irecv(buf, 1, 9).WaitErr(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("default deadline did not fire: %v", err)
+	}
+	c.SetDeadline(0)
+	// WaitTimeout never completes the request; a later match still wins.
+	r := c.Irecv(buf, 1, 8)
+	if _, err := r.WaitTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("WaitTimeout on pending recv: %v", err)
+	}
+	w.Comm(1).Isend([]byte{7}, 0, 8)
+	if st, err := r.WaitErr(); err != nil || buf[0] != 7 {
+		t.Fatalf("recv after WaitTimeout expiry: st=%+v err=%v buf=%v", st, err, buf)
+	}
+}
+
+// A crashed rank fails every pending exact-source receive against it,
+// every in-flight send to it, and every later operation naming it —
+// always with ErrRankFailed, never a hang. AnySource receives survive and
+// can still be matched by live ranks.
+func TestCrashedRankFailsPending(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(3)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+
+	buf := make([]byte, 8)
+	pending := c0.Irecv(buf, 2, 5)       // satisfiable only by rank 2
+	anybuf := make([]byte, 8)
+	anyReq := c0.Irecv(anybuf, AnySource, 6) // must survive the crash
+
+	w.FailRank(2)
+
+	if _, err := pending.WaitErr(); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("pending recv from crashed rank: %v", err)
+	}
+	if _, err := c0.Isend([]byte("late"), 2, 5).WaitErr(); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("send to crashed rank: %v", err)
+	}
+	if _, err := c0.Irecv(buf, 2, 5).WaitErr(); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("recv from crashed rank posted after crash: %v", err)
+	}
+	c1.Isend([]byte("alive"), 0, 6)
+	if st, err := anyReq.WaitErr(); err != nil || st.Source != 1 {
+		t.Fatalf("AnySource recv after crash: st=%+v err=%v", st, err)
+	}
+}
+
+// A stalled (slow) rank delays traffic but loses nothing: operations with
+// generous deadlines complete normally once the stall window passes.
+func TestStalledRankRecovers(t *testing.T) {
+	skipShort(t)
+	w := NewWorld(2)
+	defer w.Close()
+	w.StallRank(1, 30*time.Millisecond)
+	start := time.Now()
+	w.Comm(0).Isend([]byte("slow"), 1, 2)
+	buf := make([]byte, 4)
+	st, err := w.Comm(1).IrecvTimeout(buf, 0, 2, 5*time.Second).WaitErr()
+	if err != nil || st.Bytes != 4 {
+		t.Fatalf("recv from stalled rank: st=%+v err=%v", st, err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall did not delay delivery: %v", d)
+	}
+}
+
+// Cancel racing a matching delivery has exactly one deterministic winner
+// (whoever unposts the request under the endpoint lock); the loser is a
+// no-op. The request never completes twice, never loses the message AND
+// reports cancelled, and never carries an error.
+func TestCancelDeliverRaceHasOneWinner(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	iters := 500
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		buf := make([]byte, 1)
+		r := c0.Irecv(buf, 1, 4)
+		done := make(chan bool, 1)
+		go func() { done <- r.Cancel() }()
+		c1.Isend([]byte{9}, 0, 4)
+		cancelled := <-done
+		st := r.Wait()
+		if st.Err != nil {
+			t.Fatalf("iter %d: race produced error %v", i, st.Err)
+		}
+		if cancelled != st.Cancelled {
+			t.Fatalf("iter %d: Cancel()=%v but status %+v", i, cancelled, st)
+		}
+		if !st.Cancelled && (st.Bytes != 1 || buf[0] != 9) {
+			t.Fatalf("iter %d: delivery won but message lost: %+v buf=%v", i, st, buf)
+		}
+		if st.Cancelled {
+			// The message went unclaimed; drain it so iterations stay
+			// independent.
+			c0.Recv(buf, 1, 4)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hcmpi/internal/netsim"
@@ -56,6 +57,10 @@ type Options struct {
 	// ThreadOverhead is the extra critical-section time per call in
 	// ThreadMultiple mode, modelling the library's internal locking work.
 	ThreadOverhead time.Duration
+	// Faults, when non-nil, installs a deterministic fault-injection
+	// schedule on the interconnect (see netsim.Faults). Zero-valued
+	// faults inject nothing and cost nothing.
+	Faults *netsim.Faults
 }
 
 // Option mutates Options.
@@ -73,6 +78,10 @@ func WithThreadMode(m ThreadMode) Option { return func(o *Options) { o.ThreadMod
 // WithThreadOverhead sets the modelled per-call lock-held overhead for
 // ThreadMultiple mode.
 func WithThreadOverhead(d time.Duration) Option { return func(o *Options) { o.ThreadOverhead = d } }
+
+// WithFaults installs a deterministic fault-injection schedule on the
+// world's interconnect.
+func WithFaults(f netsim.Faults) Option { return func(o *Options) { o.Faults = &f } }
 
 // World is a simulated MPI job: n ranks plus the network joining them.
 type World struct {
@@ -96,6 +105,9 @@ func NewWorld(n int, opts ...Option) *World {
 	}
 	w := &World{n: n, opts: o}
 	w.net = netsim.New(n, func(r int) int { return r / o.RanksPerNode }, o.Net)
+	if o.Faults != nil {
+		w.net.SetFaults(*o.Faults)
+	}
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
 		w.comms[r] = newComm(w, r)
@@ -143,8 +155,17 @@ type Comm struct {
 	// sendFn hands a copied payload to the transport; onDelivered fires
 	// when the message has reached the destination endpoint (for the TCP
 	// transport: when it has been handed to the OS, the closest
-	// observable analogue of MPI's eager-send completion).
-	sendFn func(dest, tag int, payload []byte, onDelivered func())
+	// observable analogue of MPI's eager-send completion). onDropped, if
+	// non-nil, fires instead when the transport's fault plane discards
+	// the message — the send layer's retransmit/fail signal. Reliable
+	// transports never invoke it.
+	sendFn func(dest, tag int, payload []byte, onDelivered, onDropped func())
+	// failedFn reports whether a peer rank has crashed (nil: no failure
+	// detector, as on the TCP transport).
+	failedFn func(rank int) bool
+	// deadline is the default per-operation deadline in nanoseconds
+	// (Comm.SetDeadline); 0 disables it.
+	deadline atomic.Int64
 
 	threadMode     ThreadMode
 	threadOverhead time.Duration
@@ -178,16 +199,17 @@ func newComm(w *World, rank int) *Comm {
 	c := &Comm{world: w, rank: rank, size: w.n, node: w.net.NodeOf(rank),
 		threadMode: w.opts.ThreadMode, threadOverhead: w.opts.ThreadOverhead}
 	c.arrived = sync.NewCond(&c.mu)
-	c.sendFn = func(dest, tag int, payload []byte, onDelivered func()) {
+	c.sendFn = func(dest, tag int, payload []byte, onDelivered, onDropped func()) {
 		dc := w.comms[dest]
 		src := c.rank
-		w.net.Send(src, dest, len(payload), func() {
+		w.net.SendEx(src, dest, len(payload), func() {
 			dc.deliver(inMsg{src: src, tag: tag, payload: payload})
 			if onDelivered != nil {
 				onDelivered()
 			}
-		})
+		}, onDropped)
 	}
+	c.failedFn = w.net.Failed
 	return c
 }
 

@@ -34,7 +34,7 @@ func (c *Comm) barrierSeq(seq int) {
 		to := (me + k) % p
 		from := (me - k + p) % p
 		r := c.irecv(empty[:], from, collTag(seq, round), false)
-		c.isend(nil, to, collTag(seq, round))
+		c.isendRetry(nil, to, collTag(seq, round))
 		r.Wait()
 	}
 }
@@ -68,7 +68,7 @@ func (c *Comm) bcastSeq(buf []byte, root, seq int) {
 	}
 	for mask := 1; mask < stop && vrank+mask < p; mask <<= 1 {
 		child := (vrank + mask + root) % p
-		c.isend(buf, child, collTag(seq, 0))
+		c.isendRetry(buf, child, collTag(seq, 0))
 	}
 }
 
@@ -106,7 +106,7 @@ func (c *Comm) reduceSeq(data []byte, dt Datatype, op Op, root, seq int) []byte 
 	for mask := 1; mask < p; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := (vrank - mask + root) % p
-			c.isend(acc, parent, collTag(seq, 1))
+			c.isendRetry(acc, parent, collTag(seq, 1))
 			return nil
 		}
 		if vrank+mask < p {

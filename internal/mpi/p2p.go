@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"time"
 )
 
 // Status describes a completed (or cancelled) operation, mirroring
@@ -12,6 +13,10 @@ type Status struct {
 	Bytes     int  // bytes received (after any truncation)
 	Truncated bool // the receive buffer was smaller than the message
 	Cancelled bool
+	// Err is non-nil when the operation did not complete normally:
+	// ErrTimeout (deadline exceeded), ErrRankFailed (peer crashed), or
+	// ErrMessageDropped (lossy network discarded the send).
+	Err error
 }
 
 // reqKind distinguishes request flavours.
@@ -31,6 +36,7 @@ type Request struct {
 	done      chan struct{}
 	completed bool
 	status    Status
+	timer     *time.Timer // pending deadline, stopped on completion
 
 	// recv-side matching criteria and destination buffer.
 	src, tag int
@@ -45,6 +51,11 @@ func newRequest(c *Comm, kind reqKind) *Request {
 	return &Request{kind: kind, comm: c, done: make(chan struct{})}
 }
 
+// complete publishes the request's final status. It is single-assignment:
+// the first caller wins, every later caller is a no-op. Paths that could
+// otherwise race on a receive (matching delivery, Cancel, deadline
+// expiry, peer failure) are already serialized through Comm.unpost, which
+// picks the deterministic winner before complete is reached.
 func (r *Request) complete(st Status) {
 	r.mu.Lock()
 	if r.completed {
@@ -53,8 +64,22 @@ func (r *Request) complete(st Status) {
 	}
 	r.completed = true
 	r.status = st
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
 	close(r.done)
 	r.mu.Unlock()
+}
+
+// isDone reports completion without consuming anything.
+func (r *Request) isDone() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Done exposes the completion channel so runtimes (HCMPI's communication
@@ -82,25 +107,39 @@ func (r *Request) Wait() *Status {
 // Payload returns the adopted payload of a RecvBytes-style request.
 func (r *Request) Payload() []byte { return r.payload }
 
+// unpost removes r from the posted-receive queue and reports whether the
+// caller won it. The posted queue is the single commit point for receive
+// completion: a matching delivery, a Cancel, a deadline expiry, and a
+// peer-failure sweep each claim the request by removing it under c.mu,
+// and only the winner completes it — every loser observes the request
+// already gone and becomes a no-op. This makes the winner deterministic
+// (c.mu acquisition order) instead of racing on Request.complete.
+func (c *Comm) unpost(r *Request) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, pr := range c.posted {
+		if pr == r {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Cancel attempts to cancel the operation. Only posted-but-unmatched
 // receives can be cancelled; eager sends are already complete or in
-// flight. It reports whether the cancellation took effect.
+// flight. It reports whether the cancellation took effect. Cancel racing
+// a matching delivery (or a timeout) loses cleanly: whoever unposts the
+// request first owns its completion.
 func (r *Request) Cancel() bool {
 	if r.kind != reqRecv {
 		return false
 	}
-	c := r.comm
-	c.mu.Lock()
-	for i, pr := range c.posted {
-		if pr == r {
-			c.posted = append(c.posted[:i], c.posted[i+1:]...)
-			c.mu.Unlock()
-			r.complete(Status{Source: r.src, Tag: r.tag, Cancelled: true})
-			return true
-		}
+	if !r.comm.unpost(r) {
+		return false
 	}
-	c.mu.Unlock()
-	return false
+	r.complete(Status{Source: r.src, Tag: r.tag, Cancelled: true})
+	return true
 }
 
 // WaitAll blocks until every request completes.
@@ -170,15 +209,65 @@ func (c *Comm) Isend(buf []byte, dest, tag int) *Request {
 // isend is the tag-unchecked variant used by collectives and runtime
 // protocols (which use reserved tags).
 func (c *Comm) isend(buf []byte, dest, tag int) *Request {
+	return c.isendOpts(buf, dest, tag, 0, 0)
+}
+
+// collSendRetries bounds the automatic retransmission the collective
+// algorithms use. Their rendezvous structure means one lost message hangs
+// a peer's matching receive, so collective sends are made reliable under
+// probabilistic loss; a still-dropped message after this many resends
+// means the link is partitioned or the peer crashed.
+const collSendRetries = 64
+
+// isendRetry is isend with bounded automatic retransmission on network
+// drop; the collective algorithms use it so a lossy fault plane cannot
+// hang a rendezvous.
+func (c *Comm) isendRetry(buf []byte, dest, tag int) *Request {
+	return c.isendOpts(buf, dest, tag, collSendRetries, 0)
+}
+
+// isendOpts is the send core: retries is how many times a dropped message
+// is retransmitted before the request fails with ErrMessageDropped, and
+// timeout (0 = Comm default via SetDeadline) bounds the whole operation.
+func (c *Comm) isendOpts(buf []byte, dest, tag int, retries int, timeout time.Duration) *Request {
 	checkRank(dest, c.size)
 	exit := c.enter()
 	payload := make([]byte, len(buf))
 	copy(payload, buf)
 	req := newRequest(c, reqSend)
 	src := c.rank
-	c.sendFn(dest, tag, payload, func() {
-		req.complete(Status{Source: src, Tag: tag, Bytes: len(payload)})
-	})
+	req.src, req.tag = src, tag
+	if c.failed(dest) {
+		req.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
+		exit()
+		return req
+	}
+	var attempt func(left int)
+	attempt = func(left int) {
+		c.sendFn(dest, tag, payload, func() {
+			req.complete(Status{Source: src, Tag: tag, Bytes: len(payload)})
+		}, func() {
+			// The network dropped this copy. Classify, retransmit, or fail;
+			// a request already completed by its deadline stays dead.
+			if req.isDone() {
+				return
+			}
+			if c.failed(dest) {
+				req.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
+				return
+			}
+			if left > 0 {
+				attempt(left - 1)
+				return
+			}
+			req.complete(Status{Source: src, Tag: tag, Err: ErrMessageDropped})
+		})
+	}
+	attempt(retries)
+	if timeout <= 0 {
+		timeout = time.Duration(c.deadline.Load())
+	}
+	req.arm(timeout)
 	exit()
 	return req
 }
@@ -199,12 +288,26 @@ func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
 }
 
 func (c *Comm) irecv(buf []byte, src, tag int, takeAll bool) *Request {
+	return c.irecvOpts(buf, src, tag, takeAll, 0)
+}
+
+// irecvOpts is the receive core; timeout (0 = Comm default via
+// SetDeadline) withdraws an unmatched receive with ErrTimeout.
+func (c *Comm) irecvOpts(buf []byte, src, tag int, takeAll bool, timeout time.Duration) *Request {
 	if src != AnySource {
 		checkRank(src, c.size)
 	}
 	exit := c.enter()
 	req := newRequest(c, reqRecv)
 	req.src, req.tag, req.buf, req.takeAll = src, tag, buf, takeAll
+	if src != AnySource && c.failed(src) {
+		// A crashed peer can never satisfy this receive; unexpected
+		// messages it sent before dying were already matchable by earlier
+		// receives, so fail fast instead of hanging.
+		req.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
+		exit()
+		return req
+	}
 
 	c.mu.Lock()
 	// First scan the unexpected queue in arrival order (non-overtaking).
@@ -221,6 +324,10 @@ func (c *Comm) irecv(buf []byte, src, tag int, takeAll bool) *Request {
 	c.posted = append(c.posted, req)
 	c.mu.Unlock()
 	exit()
+	if timeout <= 0 {
+		timeout = time.Duration(c.deadline.Load())
+	}
+	req.arm(timeout)
 	return req
 }
 

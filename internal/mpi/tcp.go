@@ -113,7 +113,9 @@ func Distributed(rank int, addrs []string) (*Comm, io.Closer, error) {
 
 	c := &Comm{rank: rank, size: size, node: rank}
 	c.arrived = sync.NewCond(&c.mu)
-	c.sendFn = func(dest, tag int, payload []byte, onDelivered func()) {
+	// onDropped is ignored: TCP is a reliable transport, and a broken
+	// mesh is fatal below.
+	c.sendFn = func(dest, tag int, payload []byte, onDelivered, _ func()) {
 		if dest == rank {
 			// Loopback without touching the network stack.
 			c.deliver(inMsg{src: rank, tag: tag, payload: payload})

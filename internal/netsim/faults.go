@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures deterministic fault injection on a Network. All
+// probabilistic decisions are driven by a per-link PRNG seeded from Seed
+// and the (src,dst) pair, and are taken per message in that link's FIFO
+// order — so for a given seed and per-link send sequence, the exact same
+// messages are dropped, duplicated, and delayed on every run. A failing
+// chaos run is replayed by re-running with the same seed.
+//
+// The zero value injects nothing, and a Network without faults installed
+// skips the fault plane entirely (the instant-delivery fast path is
+// preserved), so the plane costs nothing unless used.
+type Faults struct {
+	// Seed keys every per-link PRNG; 0 is a valid (fixed) seed.
+	Seed uint64
+	// DropProb is the per-message probability that a link silently drops
+	// the message. The sender's drop callback (SendEx) still fires, which
+	// is how upper layers learn to retransmit or fail the operation.
+	DropProb float64
+	// DupProb is the per-message probability that the link delivers the
+	// message twice. The duplicate is delivered immediately after the
+	// original and can never overtake it (or any later message).
+	DupProb float64
+	// SpikeProb is the per-message probability of a delay spike of
+	// SpikeDelay, modelling transient congestion. Spikes never reorder a
+	// link: arrivals remain clamped to the pipe's previous arrival.
+	SpikeProb  float64
+	SpikeDelay time.Duration
+	// Partitions blackholes link/message-index windows (deterministic
+	// stand-in for a network partition).
+	Partitions []Partition
+}
+
+// Partition drops every message whose per-link index falls in [From, To)
+// on links matching Src→Dst (-1 wildcards a side). To <= 0 means the
+// partition never heals.
+type Partition struct {
+	Src, Dst int
+	From, To int
+}
+
+func (p Partition) matches(src, dst, idx int) bool {
+	if p.Src != -1 && p.Src != src {
+		return false
+	}
+	if p.Dst != -1 && p.Dst != dst {
+		return false
+	}
+	if idx < p.From {
+		return false
+	}
+	return p.To <= 0 || idx < p.To
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (f Faults) Enabled() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || (f.SpikeProb > 0 && f.SpikeDelay > 0) ||
+		len(f.Partitions) > 0
+}
+
+// faultState is the Network's dynamic fault runtime: crashed-rank flags
+// and per-rank stall deadlines, live whether or not a Faults schedule is
+// installed.
+type faultState struct {
+	crashed []atomic.Bool
+	// stallUntil[r] is a UnixNano deadline before which no message
+	// touching rank r is delivered (0 = no stall).
+	stallUntil []atomic.Int64
+}
+
+func newFaultState(n int) *faultState {
+	return &faultState{crashed: make([]atomic.Bool, n), stallUntil: make([]atomic.Int64, n)}
+}
+
+// SetFaults installs a fault schedule. It must be called before any
+// traffic is sent; installing faults forces all messages through the
+// per-link pipes (the instant fast path would bypass the fault plane).
+func (nw *Network) SetFaults(f Faults) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(nw.links) > 0 {
+		panic("netsim: SetFaults after traffic has started")
+	}
+	nw.faults = f
+	if f.Enabled() {
+		nw.faulty.Store(true)
+	}
+}
+
+// FaultConfig returns the installed fault schedule (zero value if none).
+func (nw *Network) FaultConfig() Faults { return nw.faults }
+
+// CrashRank marks rank r failed: every message to or from it — queued or
+// future — is dropped (with the sender's drop callback fired). Crashes
+// are permanent, mirroring MPI's fail-stop process fault model.
+func (nw *Network) CrashRank(r int) {
+	nw.fstate.crashed[r].Store(true)
+	nw.faulty.Store(true)
+}
+
+// Failed reports whether rank r has been crashed.
+func (nw *Network) Failed(r int) bool {
+	if !nw.faulty.Load() {
+		return false
+	}
+	return nw.fstate.crashed[r].Load()
+}
+
+// StallRank delays every message to or from rank r so it is delivered no
+// earlier than d from now, modelling a temporarily unresponsive (slow)
+// rank. Per-link FIFO is preserved.
+func (nw *Network) StallRank(r int, d time.Duration) {
+	nw.fstate.stallUntil[r].Store(time.Now().Add(d).UnixNano())
+	nw.faulty.Store(true)
+}
+
+// stallDeadline returns the later of the two endpoints' stall deadlines.
+func (nw *Network) stallDeadline(src, dst int) time.Time {
+	s := nw.fstate.stallUntil[src].Load()
+	if d := nw.fstate.stallUntil[dst].Load(); d > s {
+		s = d
+	}
+	if s == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, s)
+}
+
+// splitmix64 expands a seed into a well-mixed PRNG state; it is the
+// recommended initializer for xorshift-family generators.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// linkRNG is the per-link deterministic fault PRNG (xorshift64*).
+type linkRNG struct{ state uint64 }
+
+func newLinkRNG(seed uint64, src, dst int) *linkRNG {
+	s := splitmix64(seed ^ uint64(src)<<32 ^ uint64(dst))
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &linkRNG{state: s}
+}
+
+func (r *linkRNG) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// chance draws one decision with probability p. Each call consumes
+// exactly one PRNG step, so the decision sequence is a pure function of
+// (seed, src, dst, message index).
+func (r *linkRNG) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(r.next()>>11)/float64(1<<53) < p
+}

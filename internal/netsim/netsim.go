@@ -67,12 +67,19 @@ var (
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	// Fault-plane counters (zero when no faults are injected).
+	Dropped    int64
+	Duplicated int64
+	Spikes     int64
 }
 
 type message struct {
 	size     int
 	sendTime time.Time
 	deliver  func()
+	// dropped, if non-nil, fires instead of deliver when the fault plane
+	// discards the message (drop probability, partition, or crashed rank).
+	dropped func()
 }
 
 // link is the FIFO pipe between one ordered (src,dst) pair.
@@ -83,6 +90,12 @@ type link struct {
 	closed  bool
 	latency time.Duration
 	bw      float64
+
+	// Fault-plane state, touched only by the pump goroutine: the link's
+	// endpoints, its seeded PRNG, and its running message index.
+	src, dst int
+	rng      *linkRNG
+	msgIdx   int
 }
 
 // Network connects n ranks. Rank-to-node placement decides which parameter
@@ -93,6 +106,16 @@ type Network struct {
 	params Params
 	msgs   atomic.Int64
 	bytes  atomic.Int64
+	drops  atomic.Int64
+	dups   atomic.Int64
+	spikes atomic.Int64
+
+	// faulty is the fault plane's master switch: false means no fault
+	// schedule is installed and no rank has been crashed or stalled, so
+	// the hot path pays a single atomic load.
+	faulty atomic.Bool
+	faults Faults
+	fstate *faultState
 
 	mu    sync.Mutex
 	links map[[2]int]*link
@@ -103,7 +126,7 @@ type Network struct {
 // New creates a network of n ranks. nodeOf maps a rank to its node id; nil
 // means every rank is its own node.
 func New(n int, nodeOf func(rank int) int, p Params) *Network {
-	nw := &Network{n: n, node: make([]int, n), params: p, links: make(map[[2]int]*link)}
+	nw := &Network{n: n, node: make([]int, n), params: p, links: make(map[[2]int]*link), fstate: newFaultState(n)}
 	for r := 0; r < n; r++ {
 		if nodeOf != nil {
 			nw.node[r] = nodeOf(r)
@@ -125,22 +148,31 @@ func (nw *Network) SameNode(a, b int) bool { return nw.node[a] == nw.node[b] }
 
 // Stats returns a snapshot of traffic counters.
 func (nw *Network) Stats() Stats {
-	return Stats{Messages: nw.msgs.Load(), Bytes: nw.bytes.Load()}
+	return Stats{Messages: nw.msgs.Load(), Bytes: nw.bytes.Load(),
+		Dropped: nw.drops.Load(), Duplicated: nw.dups.Load(), Spikes: nw.spikes.Load()}
 }
 
 // Send schedules deliver() to run once the message has traversed the
 // (src,dst) link. Delivery order per (src,dst) pair is FIFO. With an
 // Instant network the callback runs synchronously before Send returns.
 func (nw *Network) Send(src, dst, size int, deliver func()) {
+	nw.SendEx(src, dst, size, deliver, nil)
+}
+
+// SendEx is Send with a drop notification: when the fault plane discards
+// the message (probabilistic drop, partition window, or crashed rank),
+// dropped — if non-nil — fires instead of deliver. Exactly one of the two
+// callbacks runs per message (deliver twice under duplication).
+func (nw *Network) SendEx(src, dst, size int, deliver, dropped func()) {
 	nw.msgs.Add(1)
 	nw.bytes.Add(int64(size))
-	if nw.params.Instant() {
+	if nw.params.Instant() && !nw.faulty.Load() {
 		deliver()
 		return
 	}
 	l := nw.getLink(src, dst)
 	l.mu.Lock()
-	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), deliver: deliver})
+	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), deliver: deliver, dropped: dropped})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -152,8 +184,11 @@ func (nw *Network) getLink(src, dst int) *link {
 	if l, ok := nw.links[key]; ok {
 		return l
 	}
-	l := &link{}
+	l := &link{src: src, dst: dst}
 	l.cond = sync.NewCond(&l.mu)
+	if nw.faults.Enabled() {
+		l.rng = newLinkRNG(nw.faults.Seed, src, dst)
+	}
 	if nw.SameNode(src, dst) {
 		l.latency, l.bw = nw.params.IntraLatency, nw.params.IntraBandwidth
 	} else {
@@ -189,6 +224,43 @@ func (nw *Network) pump(l *link) {
 		l.queue = l.queue[1:]
 		l.mu.Unlock()
 
+		// Fault-plane decisions, in a fixed order per message so the
+		// PRNG consumption — and therefore the whole fault schedule — is
+		// a pure function of (seed, link, message index).
+		var spike time.Duration
+		duplicate := false
+		if l.rng != nil {
+			f := &nw.faults
+			idx := l.msgIdx
+			l.msgIdx++
+			if f.SpikeProb > 0 && f.SpikeDelay > 0 && l.rng.chance(f.SpikeProb) {
+				spike = f.SpikeDelay
+				nw.spikes.Add(1)
+			}
+			drop := f.DropProb > 0 && l.rng.chance(f.DropProb)
+			duplicate = f.DupProb > 0 && l.rng.chance(f.DupProb)
+			if !drop {
+				for _, p := range f.Partitions {
+					if p.matches(l.src, l.dst, idx) {
+						drop = true
+						break
+					}
+				}
+			}
+			if drop {
+				nw.drop(m)
+				continue
+			}
+		}
+		if nw.faulty.Load() {
+			// Crashed endpoints blackhole the message even with no
+			// schedule installed (CrashRank is independent of Faults).
+			if nw.fstate.crashed[l.src].Load() || nw.fstate.crashed[l.dst].Load() {
+				nw.drop(m)
+				continue
+			}
+		}
+
 		arrival := m.sendTime.Add(l.latency)
 		if j := nw.params.Jitter; j > 0 {
 			// xorshift64*: cheap per-link deterministic noise.
@@ -196,6 +268,12 @@ func (nw *Network) pump(l *link) {
 			rngState ^= rngState >> 7
 			rngState ^= rngState << 17
 			arrival = arrival.Add(time.Duration(rngState % uint64(j)))
+		}
+		arrival = arrival.Add(spike)
+		if nw.faulty.Load() {
+			if s := nw.stallDeadline(l.src, l.dst); arrival.Before(s) {
+				arrival = s
+			}
 		}
 		if arrival.Before(lastArrival) {
 			arrival = lastArrival
@@ -206,6 +284,21 @@ func (nw *Network) pump(l *link) {
 		sleepUntil(arrival)
 		lastArrival = arrival
 		m.deliver()
+		if duplicate {
+			// The duplicate rides directly behind the original, so it can
+			// never overtake it (or any message sent after it, which is
+			// still queued behind this pump iteration).
+			nw.dups.Add(1)
+			m.deliver()
+		}
+	}
+}
+
+// drop discards a message, counting it and notifying the sender.
+func (nw *Network) drop(m message) {
+	nw.drops.Add(1)
+	if m.dropped != nil {
+		m.dropped()
 	}
 }
 

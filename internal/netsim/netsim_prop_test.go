@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -89,6 +90,140 @@ func TestSendAfterCloseStillDelivers(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 		// Acceptable: post-close messages on fresh links may be dropped;
 		// the important property is no hang in Close and no panic.
+	}
+}
+
+// chaosRun sends n messages 0→1 under f and returns the delivery sequence
+// (message indices, duplicates included, in delivery order) and the set of
+// dropped indices. Close() drains the pump before the sequences are read.
+func chaosRun(p Params, f Faults, n int) (delivered []int, dropped []int) {
+	nw := New(2, nil, p)
+	nw.SetFaults(f)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(n) // one callback per message: deliver (maybe twice) or dropped
+	for i := 0; i < n; i++ {
+		i := i
+		first := true
+		nw.SendEx(0, 1, 8, func() {
+			mu.Lock()
+			delivered = append(delivered, i)
+			f := first
+			first = false
+			mu.Unlock()
+			if f {
+				wg.Done()
+			}
+		}, func() {
+			mu.Lock()
+			dropped = append(dropped, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	nw.Close()
+	return delivered, dropped
+}
+
+// Property: under jitter, delay spikes, AND duplication, the FIRST
+// delivery of each message still respects send order — a duplicate never
+// arrives ahead of a not-yet-delivered earlier message. (Arrivals are
+// clamped to the pipe's previous arrival, and duplicates enter the pipe
+// immediately behind their original.)
+func TestFaultyLinkFirstDeliveryNonOvertaking(t *testing.T) {
+	p := Params{InterLatency: 50 * time.Microsecond, Jitter: 200 * time.Microsecond}
+	f := func(seed int64) bool {
+		delivered, _ := chaosRun(p, Faults{Seed: uint64(seed), SpikeProb: 0.3,
+			SpikeDelay: 500 * time.Microsecond, DupProb: 0.3}, 40)
+		seen := map[int]bool{}
+		last := -1
+		for _, i := range delivered {
+			if seen[i] {
+				continue // duplicate: may land anywhere after its original
+			}
+			seen[i] = true
+			if i != last+1 {
+				t.Logf("seed=%#x: first deliveries out of order: %v", seed, delivered)
+				return false
+			}
+			last = i
+		}
+		return last == 39
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fault schedule is a pure function of (seed, link, message
+// index) — two runs with the same seed drop and duplicate exactly the
+// same messages; different seeds (almost surely) differ.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	p := Params{InterLatency: 20 * time.Microsecond}
+	f := Faults{Seed: 0xD37E12, DropProb: 0.25, DupProb: 0.2}
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	d1, x1 := chaosRun(p, f, 200)
+	d2, x2 := chaosRun(p, f, 200)
+	if !eq(x1, x2) {
+		t.Fatalf("seed=%#x: drop sets differ across identical runs:\n%v\n%v", f.Seed, x1, x2)
+	}
+	if !eq(d1, d2) {
+		t.Fatalf("seed=%#x: delivery sequences differ across identical runs:\n%v\n%v", f.Seed, d1, d2)
+	}
+	f2 := f
+	f2.Seed = 0xBADC0DE
+	_, x3 := chaosRun(p, f2, 200)
+	if eq(x1, x3) {
+		t.Fatal("independent seeds produced identical drop schedules")
+	}
+}
+
+// Property: every message resolves exactly one way — delivered once,
+// delivered twice (duplication), or dropped — and the stats agree.
+func TestFaultAccountingIsExact(t *testing.T) {
+	const n = 300
+	nw := New(2, nil, Params{InterLatency: 10 * time.Microsecond})
+	nw.SetFaults(Faults{Seed: 0xACC7, DropProb: 0.2, DupProb: 0.2})
+	var deliveries, drops atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		done := false
+		var mu sync.Mutex
+		nw.SendEx(0, 1, 4, func() {
+			deliveries.Add(1)
+			mu.Lock()
+			f := !done
+			done = true
+			mu.Unlock()
+			if f {
+				wg.Done()
+			}
+		}, func() {
+			drops.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	nw.Close()
+	st := nw.Stats()
+	if drops.Load() != st.Dropped {
+		t.Fatalf("dropped callbacks %d != Stats.Dropped %d", drops.Load(), st.Dropped)
+	}
+	if deliveries.Load() != (int64(n)-st.Dropped)+st.Duplicated {
+		t.Fatalf("deliveries %d, want %d sent - %d dropped + %d duplicated",
+			deliveries.Load(), n, st.Dropped, st.Duplicated)
 	}
 }
 
