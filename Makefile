@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 verify test chaos vet
+.PHONY: tier1 verify test chaos vet trace-demo
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
@@ -21,3 +21,10 @@ chaos:
 
 vet:
 	$(GO) vet ./...
+
+# Produce a traced UTS timeline and validate the exporter's invariants
+# (monotonic timestamps per track, balanced slices) with tracecheck.
+trace-demo:
+	$(GO) run ./cmd/uts -impl hcmpi -ranks 2 -workers 2 -tree t1small \
+		-trace /tmp/hcmpi-trace-demo.json -report
+	$(GO) run ./cmd/tracecheck /tmp/hcmpi-trace-demo.json

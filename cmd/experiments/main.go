@@ -27,6 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	full := flag.Bool("full", false, "paper-regime workloads (slow)")
 	outPath := flag.String("o", "", "also write output to this file")
+	tracePath := flag.String("trace", "", "write a Perfetto timeline here (trace-enabled experiments)")
 	flag.Parse()
 
 	out := io.Writer(os.Stdout)
@@ -51,7 +52,7 @@ func main() {
 		return
 	}
 
-	o := harness.Options{Full: *full}
+	o := harness.Options{Full: *full, TracePath: *tracePath}
 	names := []string{*run}
 	if *run == "all" {
 		names = harness.Names()

@@ -1,0 +1,36 @@
+// Command tracecheck validates a Chrome trace JSON file produced by the
+// runtime's -trace flag: it parses the file and asserts the exporter's
+// structural invariants (timestamps monotonic per track, begin/end
+// slices balanced), then prints a one-line summary. CI's trace-demo
+// target runs it over a fresh UTS timeline.
+//
+// Usage:
+//
+//	tracecheck uts.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hcmpi/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sum, err := trace.ValidateChrome(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: OK — %d events on %d tracks (%d slices, %d instants)\n",
+		os.Args[1], sum.Events, sum.Tracks, sum.Slices, sum.Instants)
+}

@@ -19,6 +19,7 @@ import (
 	"hcmpi/internal/hcmpi"
 	"hcmpi/internal/mpi"
 	"hcmpi/internal/netsim"
+	"hcmpi/internal/trace"
 	"hcmpi/internal/uts"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	chunk := flag.Int("c", 8, "steal chunk size")
 	poll := flag.Int("i", 4, "polling interval")
 	latency := flag.Duration("latency", 0, "modelled inter-node latency (e.g. 2us)")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable timeline (Chrome trace JSON) here")
+	report := flag.Bool("report", false, "print the post-run trace analysis (utilization, steals, overlap)")
 	flag.Parse()
 
 	tree, ok := trees[*treeName]
@@ -53,17 +56,24 @@ func main() {
 	var mu sync.Mutex
 	var total uts.Counters
 
+	var tr *trace.Tracer
+	if *tracePath != "" || *report {
+		tr = trace.New(trace.Config{})
+	}
+	metrics := trace.NewMetrics() // job-wide counters, merged from every rank
+
 	start := time.Now()
-	w := mpi.NewWorld(*ranks, mpi.WithNetwork(net))
+	w := mpi.NewWorld(*ranks, mpi.WithNetwork(net), mpi.WithTracer(tr))
 	w.Run(func(c *mpi.Comm) {
 		var ctr uts.Counters
 		switch *impl {
 		case "mpi":
 			ctr = uts.RunMPI(c, tree, params)
 		case "hcmpi":
-			n := hcmpi.NewNode(c, hcmpi.Config{Workers: *workers})
+			n := hcmpi.NewNode(c, hcmpi.Config{Workers: *workers, Tracer: tr})
 			ctr = uts.RunHCMPI(n, tree, params)
 			n.Close()
+			metrics.Merge(n.Metrics())
 		case "hybrid":
 			ctr = uts.RunHybrid(c, tree, params, *workers, uts.HybridImproved)
 		default:
@@ -84,6 +94,17 @@ func main() {
 	fmt.Printf("steals: local=%d global=%d failed=%d released=%d\n",
 		total.LocalSteals, total.Steals, total.FailedSteals, total.Released)
 	fmt.Printf("wall=%v\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("metrics: %s\n", metrics.Summary())
+	if *report {
+		tr.WriteReport(os.Stdout)
+	}
+	if *tracePath != "" {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (load it at https://ui.perfetto.dev)\n", *tracePath)
+	}
 	if total.Nodes != seqNodes {
 		fmt.Fprintln(os.Stderr, "ERROR: node count mismatch")
 		os.Exit(1)

@@ -35,7 +35,9 @@ func main() {
 
 func run(cfg hcmpi.Config) {
 	const msgs = 30
+	agg := hcmpi.NewMetrics() // job-wide counters, merged from every rank
 	hcmpi.RunConfig(2, cfg, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		defer agg.Merge(n.Metrics())
 		switch n.Rank() {
 		case 0:
 			var failed error
@@ -46,7 +48,7 @@ func run(cfg hcmpi.Config) {
 					break
 				}
 			}
-			s := n.Stats()
+			s := n.StatsSnapshot()
 			if failed != nil {
 				kind := "other"
 				switch {
@@ -58,11 +60,11 @@ func run(cfg hcmpi.Config) {
 					kind = "ErrMessageDropped"
 				}
 				fmt.Printf("  rank 0: send failed with %s after %d retries — no hang\n",
-					kind, s.Retries.Load())
+					kind, s.Retries)
 				return
 			}
 			fmt.Printf("  rank 0: %d sends delivered (retries=%d timeouts=%d)\n",
-				msgs, s.Retries.Load(), s.Timeouts.Load())
+				msgs, s.Retries, s.Timeouts)
 		case 1:
 			buf := make([]byte, 16)
 			for i := 0; i < msgs; i++ {
@@ -79,4 +81,5 @@ func run(cfg hcmpi.Config) {
 			fmt.Printf("  rank 1: %d messages received in order\n", msgs)
 		}
 	})
+	fmt.Printf("  metrics: %s\n", agg.Summary())
 }

@@ -43,6 +43,7 @@ import (
 	"hcmpi/internal/mpi"
 	"hcmpi/internal/netsim"
 	"hcmpi/internal/phaser"
+	"hcmpi/internal/trace"
 )
 
 // Re-exported core types. The paper's C-style names map as:
@@ -88,6 +89,12 @@ type (
 	Datatype = mpi.Datatype
 	// Op is a reduction operator.
 	Op = mpi.Op
+	// Tracer records a runtime timeline (per-worker event rings); export
+	// it with WriteChromeFile (Perfetto) or WriteReport (text summary).
+	Tracer = trace.Tracer
+	// Metrics is the unified named-counter registry; every Node exposes
+	// one via Node.Metrics().
+	Metrics = trace.Metrics
 )
 
 // Phaser registration modes and barrier flavours.
@@ -136,6 +143,14 @@ var (
 // NewDDF creates an empty shared-memory data-driven future (DDF_CREATE).
 func NewDDF() *DDF { return hc.NewDDF() }
 
+// NewTracer creates a tracer with default ring sizing; pass it through
+// Config.Tracer to record a job timeline.
+func NewTracer() *Tracer { return trace.New(trace.Config{}) }
+
+// NewMetrics creates an empty counter registry — handy for aggregating
+// several ranks' Node.Metrics() with Metrics.Merge.
+func NewMetrics() *Metrics { return trace.NewMetrics() }
+
 // AsyncPhased spawns a task registered on a phaser (async phased(ph)).
 var AsyncPhased = hcmpi.AsyncPhased
 
@@ -163,6 +178,10 @@ type Config struct {
 	// base backoff doubling per attempt).
 	SendRetries  int
 	RetryBackoff time.Duration
+	// Tracer, when non-nil, records the job's timeline: every rank's
+	// computation workers, communication worker, MPI endpoint, and the
+	// interconnect fault plane. Nil disables tracing at (near) zero cost.
+	Tracer *Tracer
 }
 
 // Run launches an SPMD HCMPI job of `ranks` ranks in-process, each with
@@ -191,12 +210,16 @@ func (cfg Config) worldOptions() []mpi.Option {
 	if cfg.Faults != nil {
 		opts = append(opts, mpi.WithFaults(*cfg.Faults))
 	}
+	if cfg.Tracer != nil {
+		opts = append(opts, mpi.WithTracer(cfg.Tracer))
+	}
 	return opts
 }
 
 func (cfg Config) nodeConfig() hcmpi.Config {
 	return hcmpi.Config{Workers: cfg.Workers, OpTimeout: cfg.OpTimeout,
-		SendRetries: cfg.SendRetries, RetryBackoff: cfg.RetryBackoff}
+		SendRetries: cfg.SendRetries, RetryBackoff: cfg.RetryBackoff,
+		Tracer: cfg.Tracer}
 }
 
 // RunDistributed joins this OS process as one rank of a real multi-process

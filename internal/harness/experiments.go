@@ -14,6 +14,9 @@ import (
 type Options struct {
 	// Full selects paper-regime workloads (much slower).
 	Full bool
+	// TracePath, when non-empty, makes trace-enabled experiments write a
+	// Perfetto-loadable timeline there.
+	TracePath string
 }
 
 // Runner produces one experiment's tables.
@@ -38,6 +41,8 @@ var Experiments = map[string]Runner{
 	"ablation-commworker": AblationCommWorker,
 	"ablation-chunking":   AblationChunking,
 	"ablation-phasertree": AblationPhaserTree,
+
+	"trace-uts": TraceUTS,
 
 	"summary": Summary,
 }

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/trace"
+	"hcmpi/internal/uts"
+)
+
+// TraceUTS runs a small UTS job on the real (non-simulated) runtime with
+// tracing enabled and renders the post-run analysis: per-worker
+// utilization, steal rates, and comm/compute overlap — the measured
+// counterpart of the paper's §IV timeline discussion. With
+// Options.TracePath set, the Perfetto-loadable timeline is written
+// there as well.
+func TraceUTS(o Options) []*Table {
+	tree := uts.T1Small
+	ranks, workers := 2, 2
+	if o.Full {
+		tree, ranks, workers = uts.T1Med, 4, 4
+	}
+
+	tr := trace.New(trace.Config{})
+	start := time.Now()
+	w := mpi.NewWorld(ranks, mpi.WithTracer(tr))
+	w.Run(func(c *mpi.Comm) {
+		n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers, Tracer: tr})
+		uts.RunHCMPI(n, tree, uts.Params{Chunk: 8, PollInterval: 4})
+		n.Close()
+	})
+	elapsed := time.Since(start)
+
+	rep := tr.BuildReport()
+	t := &Table{
+		Title:  fmt.Sprintf("Trace: UTS %s on the real runtime (%d ranks x %d workers, wall %v)", tree.Name, ranks, workers, elapsed.Round(time.Millisecond)),
+		Header: []string{"rank", "mean util", "steal rate", "comm ops", "overlap"},
+	}
+	for i := range rep.Ranks {
+		rr := &rep.Ranks[i]
+		overlap := "-"
+		if rr.Overlap >= 0 {
+			overlap = fmt.Sprintf("%.1f%%", 100*rr.Overlap)
+		}
+		stealRate := "-"
+		if r := rr.StealRate(); r >= 0 {
+			stealRate = fmt.Sprintf("%.1f%%", 100*r)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", rr.Pid),
+			fmt.Sprintf("%.1f%%", 100*rr.MeanUtil()),
+			stealRate,
+			fmt.Sprintf("%d", rr.CommOps),
+			overlap,
+		})
+	}
+	t.Notes = []string{fmt.Sprintf("%d events recorded (%d dropped by ring overflow)", rep.Events, rep.Dropped)}
+
+	if o.TracePath != "" {
+		if err := tr.WriteChromeFile(o.TracePath); err != nil {
+			t.Notes = append(t.Notes, "trace write failed: "+err.Error())
+		} else {
+			t.Notes = append(t.Notes, "timeline written to "+o.TracePath+" (load at https://ui.perfetto.dev)")
+		}
+	}
+	return []*Table{t}
+}

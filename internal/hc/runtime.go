@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hcmpi/internal/deque"
+	"hcmpi/internal/trace"
 )
 
 // Task is one schedulable unit: a closure plus the finish scope it
@@ -51,9 +52,17 @@ type Runtime struct {
 	// hpt, when non-nil, drives locality-aware spawning and stealing.
 	hpt *HPT
 
-	// Stats.
-	steals   atomic.Int64
-	tasksRun atomic.Int64
+	// metrics is the runtime's counter registry (always on — one
+	// uncontended atomic add per event); tracer, when non-nil, records
+	// timeline events onto per-worker rings.
+	metrics *trace.Metrics
+	tracer  *trace.Tracer
+
+	steals        *trace.Counter
+	stealAttempts *trace.Counter
+	stealFails    *trace.Counter
+	tasksRun      *trace.Counter
+	tasksSpawned  *trace.Counter
 }
 
 type worker struct {
@@ -69,6 +78,9 @@ type worker struct {
 	// HPT); victims orders steal targets by place distance.
 	place   *Place
 	victims []int
+	// ring is this worker's trace timeline; nil when tracing is
+	// disabled (the nil check inside Emit is the whole disabled path).
+	ring *trace.Ring
 }
 
 // Ctx is the execution context handed to every task: which worker is
@@ -98,9 +110,26 @@ func (c *Ctx) CurrentFinish() *Finish { return c.finish }
 // paper's comm worker "pushes the continuation of the finish onto its
 // deque to be stolen by computation workers".
 func New(n int, extraStealSources ...*deque.Deque[Task]) *Runtime {
+	return NewTraced(n, nil, 0, extraStealSources...)
+}
+
+// NewTraced is New with tracing: when tr is non-nil, each worker
+// records its timeline onto a per-worker ring registered under process
+// id pid (HCMPI uses the MPI rank). A nil tr costs nothing.
+func NewTraced(n int, tr *trace.Tracer, pid int, extraStealSources ...*deque.Deque[Task]) *Runtime {
 	rt := newRuntime(n, extraStealSources...)
+	rt.attachTracer(tr, pid)
 	rt.start()
 	return rt
+}
+
+// attachTracer wires per-worker trace rings; it must run before any
+// worker starts (workers read w.ring unsynchronized).
+func (rt *Runtime) attachTracer(tr *trace.Tracer, pid int) {
+	rt.tracer = tr
+	for _, w := range rt.workers {
+		w.ring = tr.Register(pid, w.id, fmt.Sprintf("worker %d", w.id), trace.TrackCompute)
+	}
 }
 
 // newRuntime builds the structures without launching workers, so
@@ -109,7 +138,12 @@ func newRuntime(n int, extraStealSources ...*deque.Deque[Task]) *Runtime {
 	if n <= 0 {
 		panic(fmt.Sprintf("hc: worker count %d", n))
 	}
-	rt := &Runtime{inject: deque.NewStack[Task]()}
+	rt := &Runtime{inject: deque.NewStack[Task](), metrics: trace.NewMetrics()}
+	rt.steals = rt.metrics.Counter("hc_steals")
+	rt.stealAttempts = rt.metrics.Counter("hc_steal_attempts")
+	rt.stealFails = rt.metrics.Counter("hc_steal_fails")
+	rt.tasksRun = rt.metrics.Counter("hc_tasks_run")
+	rt.tasksSpawned = rt.metrics.Counter("hc_tasks_spawned")
 	rt.idleCond = sync.NewCond(&rt.idleMu)
 	for i := 0; i < n; i++ {
 		w := &worker{id: i, rt: rt, deque: deque.NewDeque[Task](), rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
@@ -135,6 +169,15 @@ func (rt *Runtime) Steals() int64 { return rt.steals.Load() }
 
 // TasksRun returns the number of tasks executed so far.
 func (rt *Runtime) TasksRun() int64 { return rt.tasksRun.Load() }
+
+// Metrics exposes the runtime's counter registry (hc_steals,
+// hc_steal_attempts, hc_steal_fails, hc_tasks_run, hc_tasks_spawned —
+// plus whatever clients like the HCMPI communication worker register).
+func (rt *Runtime) Metrics() *trace.Metrics { return rt.metrics }
+
+// Tracer returns the tracer attached at construction (nil when
+// tracing is disabled).
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 
 // Shutdown stops the workers after the currently running tasks finish.
 // Pending queued tasks are discarded; callers should have joined their
@@ -201,10 +244,12 @@ func (w *worker) next() (Task, bool) {
 // by place distance, otherwise from a random start.
 func (w *worker) stealOnce() (Task, bool) {
 	rt := w.rt
+	rt.stealAttempts.Add(1)
+	w.ring.Emit(trace.EvStealAttempt, 0, 0)
 	if w.victims != nil {
 		for _, v := range w.victims {
 			if t, ok := rt.workers[v].deque.Steal(); ok {
-				rt.steals.Add(1)
+				w.stole(v)
 				return *t, true
 			}
 		}
@@ -213,41 +258,62 @@ func (w *worker) stealOnce() (Task, bool) {
 		if rt.hpt != nil {
 			for _, p := range rt.hpt.places {
 				if t, ok := p.queue.Pop(); ok {
-					rt.steals.Add(1)
+					w.stole(-1)
 					return *t, true
 				}
 			}
 		}
 		for _, d := range rt.stealSet[len(rt.workers):] {
 			if t, ok := d.Steal(); ok {
-				rt.steals.Add(1)
+				w.stole(-1)
 				return *t, true
 			}
 		}
+		w.stealMissed()
 		return Task{}, false
 	}
 	n := len(rt.stealSet)
 	if n <= 1 {
+		w.stealMissed()
 		return Task{}, false
 	}
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
-		d := rt.stealSet[(start+i)%n]
+		v := (start + i) % n
+		d := rt.stealSet[v]
 		if d == w.deque {
 			continue
 		}
 		if t, ok := d.Steal(); ok {
-			rt.steals.Add(1)
+			if v >= len(rt.workers) {
+				v = -1 // external steal source (e.g. the comm worker's deque)
+			}
+			w.stole(v)
 			return *t, true
 		}
 	}
+	w.stealMissed()
 	return Task{}, false
+}
+
+// stole books a successful steal from victim (-1: external source).
+func (w *worker) stole(victim int) {
+	w.rt.steals.Add(1)
+	w.ring.Emit(trace.EvStealSuccess, int64(victim), 0)
+}
+
+// stealMissed books a sweep that found nothing.
+func (w *worker) stealMissed() {
+	w.rt.stealFails.Add(1)
+	w.ring.Emit(trace.EvStealFail, 0, 0)
 }
 
 func (w *worker) run(t Task) {
 	w.rt.tasksRun.Add(1)
+	w.ring.Emit(trace.EvTaskStart, 0, 0)
 	ctx := &Ctx{w: w, finish: t.finish}
 	t.fn(ctx)
+	w.ring.Emit(trace.EvTaskEnd, 0, 0)
 	if t.finish != nil {
 		t.finish.dec()
 	}
@@ -293,6 +359,8 @@ func (c *Ctx) Async(fn func(*Ctx)) {
 	if f != nil {
 		f.inc()
 	}
+	c.w.rt.tasksSpawned.Add(1)
+	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
 	if c.w.detached {
 		t := Task{fn: fn, finish: f}
 		c.w.rt.inject.Push(&t)
@@ -314,6 +382,8 @@ func (c *Ctx) AsyncBlocking(fn func(*Ctx)) {
 		f.inc()
 	}
 	rt := c.w.rt
+	rt.tasksSpawned.Add(1)
+	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
 	go func() {
 		dw := &worker{
 			id:       int(helperIDs.Add(1)) + len(rt.workers),
@@ -339,6 +409,8 @@ func (c *Ctx) AsyncAt(wid int, fn func(*Ctx)) {
 	if f != nil {
 		f.inc()
 	}
+	c.w.rt.tasksSpawned.Add(1)
+	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
 	if !c.w.detached && (wid == c.w.id || wid < 0 || wid >= len(c.w.rt.workers)) {
 		c.w.deque.Push(&Task{fn: fn, finish: f})
 		c.w.rt.Wake()
@@ -483,7 +555,7 @@ func (w *worker) stealAll() (Task, bool) {
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
 		if t, ok := w.rt.stealSet[(start+i)%n].Steal(); ok {
-			w.rt.steals.Add(1)
+			w.stole(-1)
 			return *t, true
 		}
 	}

@@ -53,7 +53,7 @@ func TestChaosDropRetryCompletes(t *testing.T) {
 						t.Errorf("seed=%#x: send %d failed: %v", chaosSeed, i, st.Err)
 					}
 				}
-				retries = n.Stats().Retries.Load()
+				retries = n.StatsSnapshot().Retries
 			case 1:
 				buf := make([]byte, 16)
 				for i := 0; i < msgs; i++ {
@@ -93,7 +93,7 @@ func TestChaosPartitionTimesOut(t *testing.T) {
 			if !errors.Is(st.Err, mpi.ErrTimeout) {
 				t.Errorf("seed=%#x: send across partition: err=%v", chaosSeed, st.Err)
 			}
-			if n.Stats().Retries.Load() == 0 {
+			if n.StatsSnapshot().Retries == 0 {
 				t.Errorf("seed=%#x: partitioned send never retried before timing out", chaosSeed)
 			}
 		case 1:
@@ -140,7 +140,7 @@ func TestChaosCrashedRankFailsPending(t *testing.T) {
 			if st2 := n.Send(ctx, []byte("late"), 2, 9); !errors.Is(st2.Err, mpi.ErrRankFailed) {
 				t.Errorf("send to crashed rank: %+v", st2)
 			}
-			if n.Stats().Failures.Load() == 0 {
+			if n.StatsSnapshot().Failures == 0 {
 				t.Error("failures not counted")
 			}
 		})

@@ -25,6 +25,7 @@ import (
 	"hcmpi/internal/deque"
 	"hcmpi/internal/hc"
 	"hcmpi/internal/mpi"
+	"hcmpi/internal/trace"
 )
 
 // CommState is a communication task's lifecycle state (paper Fig. 11).
@@ -93,6 +94,10 @@ const (
 type commTask struct {
 	state atomic.Int32
 	kind  commKind
+	// id tags the operation across its lifecycle for the trace timeline;
+	// it is reassigned on every allocation (recycled structures get a
+	// fresh id, so Perfetto's async lanes never merge two operations).
+	id int64
 
 	buf      []byte
 	peer     int // dest or src (or root for collectives)
@@ -220,6 +225,11 @@ type Config struct {
 	// its awaiters forever. 0 (the default) disables timeouts; chaos
 	// runs under partitions or rank crashes should set it.
 	OpTimeout time.Duration
+	// Tracer, when non-nil, records a timeline of this node's workers:
+	// one track per computation worker, one for the communication
+	// worker, and one for phaser activity. Nil (the default) disables
+	// tracing; the instrumented paths then cost one nil check.
+	Tracer *trace.Tracer
 }
 
 // Node is one HCMPI process: computation workers + a dedicated
@@ -253,7 +263,23 @@ type Node struct {
 	shutdown      chan struct{}
 	collsInFlight atomic.Int64
 
-	stats Stats
+	// Observability: opSeq issues comm-op ids for the trace timeline;
+	// commRing and phaserRing are nil when tracing is disabled. The
+	// counters live in the node's unified metrics registry (shared with
+	// the hc runtime) and are read through StatsSnapshot.
+	opSeq      atomic.Int64
+	tracer     *trace.Tracer
+	commRing   *trace.Ring
+	phaserRing *trace.Ring
+	stats      statCounters
+}
+
+// statCounters holds the node's registered metrics counters.
+type statCounters struct {
+	sends, recvs, collectives   *trace.Counter
+	recycled, allocated         *trace.Counter
+	polls, dispatched           *trace.Counter
+	retries, timeouts, failures *trace.Counter
 }
 
 // collResult is a finished collective flowing back to the worker loop.
@@ -272,20 +298,25 @@ type listener struct {
 	halt bool
 }
 
-// Stats counts communication-worker activity.
-type Stats struct {
-	Sends       atomic.Int64
-	Recvs       atomic.Int64
-	Collectives atomic.Int64
-	Recycled    atomic.Int64
-	Allocated   atomic.Int64
-	Polls       atomic.Int64
-	Dispatched  atomic.Int64
+// StatsSnapshot is a point-in-time copy of the communication-worker
+// counters. It replaces the earlier mutable *Stats accessor, which
+// leaked a pointer into state the communication worker kept mutating —
+// a reader comparing two fields could see them from different moments
+// (and the race detector rightly objected). A value snapshot is
+// coherent per field and free of aliasing.
+type StatsSnapshot struct {
+	Sends       int64
+	Recvs       int64
+	Collectives int64
+	Recycled    int64
+	Allocated   int64
+	Polls       int64
+	Dispatched  int64
 	// Fault-plane counters: send re-issues after a network drop, timed
 	// out operations, and operations completed with a non-nil Err.
-	Retries  atomic.Int64
-	Timeouts atomic.Int64
-	Failures atomic.Int64
+	Retries  int64
+	Timeouts int64
+	Failures int64
 }
 
 // NewNode starts an HCMPI process over MPI rank c with cfg.Workers
@@ -314,7 +345,23 @@ func NewNode(c *mpi.Comm, cfg Config) *Node {
 		stopped:   make(chan struct{}),
 		shutdown:  make(chan struct{}),
 	}
-	n.rt = hc.New(cfg.Workers, n.commDeque)
+	n.rt = hc.NewTraced(cfg.Workers, cfg.Tracer, c.Rank(), n.commDeque)
+	n.tracer = cfg.Tracer
+	n.commRing = cfg.Tracer.Register(c.Rank(), cfg.Workers, "comm", trace.TrackComm)
+	n.phaserRing = cfg.Tracer.Register(c.Rank(), cfg.Workers+1, "phasers", trace.TrackPhaser)
+	m := n.rt.Metrics()
+	n.stats = statCounters{
+		sends:       m.Counter("comm_sends"),
+		recvs:       m.Counter("comm_recvs"),
+		collectives: m.Counter("comm_collectives"),
+		recycled:    m.Counter("comm_recycled"),
+		allocated:   m.Counter("comm_allocated"),
+		polls:       m.Counter("comm_polls"),
+		dispatched:  m.Counter("comm_dispatched"),
+		retries:     m.Counter("comm_retries"),
+		timeouts:    m.Counter("comm_timeouts"),
+		failures:    m.Counter("comm_failures"),
+	}
 	go n.commWorker()
 	go n.collectiveRunner()
 	return n
@@ -332,8 +379,37 @@ func (n *Node) Workers() int { return n.rt.NumWorkers() }
 // Runtime exposes the intra-node task runtime.
 func (n *Node) Runtime() *hc.Runtime { return n.rt }
 
-// Stats exposes communication-worker counters.
-func (n *Node) Stats() *Stats { return &n.stats }
+// StatsSnapshot returns a point-in-time copy of the communication-worker
+// counters.
+func (n *Node) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sends:       n.stats.sends.Load(),
+		Recvs:       n.stats.recvs.Load(),
+		Collectives: n.stats.collectives.Load(),
+		Recycled:    n.stats.recycled.Load(),
+		Allocated:   n.stats.allocated.Load(),
+		Polls:       n.stats.polls.Load(),
+		Dispatched:  n.stats.dispatched.Load(),
+		Retries:     n.stats.retries.Load(),
+		Timeouts:    n.stats.timeouts.Load(),
+		Failures:    n.stats.failures.Load(),
+	}
+}
+
+// Metrics exposes the node's unified counter registry (shared with the
+// intra-node task runtime).
+func (n *Node) Metrics() *trace.Metrics { return n.rt.Metrics() }
+
+// Tracer returns the tracer the node was configured with (nil when
+// tracing is disabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// traceState moves a task to state s and records the transition on the
+// communication-worker track.
+func (n *Node) traceState(t *commTask, s CommState) {
+	t.setState(s)
+	n.commRing.Emit(trace.EvCommState, t.id, int64(s))
+}
 
 // Main runs f as the node's root task and returns when f and everything
 // it spawned have completed (the program's implicit outer finish).
@@ -378,20 +454,21 @@ func (n *Node) allocTask() *commTask {
 		if s := t.State(); s != StateAvailable {
 			panic(fmt.Sprintf("hcmpi: free-list handed out a %v task", s))
 		}
-		n.stats.Recycled.Add(1)
-		t.setState(StateAllocated)
+		n.stats.recycled.Add(1)
+		t.id = n.opSeq.Add(1)
+		n.traceState(t, StateAllocated)
 		return t
 	}
-	n.stats.Allocated.Add(1)
-	t := &commTask{}
-	t.setState(StateAllocated)
+	n.stats.allocated.Add(1)
+	t := &commTask{id: n.opSeq.Add(1)}
+	n.traceState(t, StateAllocated)
 	return t
 }
 
 // prescribe publishes a fully initialized task to the communication
 // worker.
 func (n *Node) prescribe(t *commTask) {
-	t.setState(StatePrescribed)
+	n.traceState(t, StatePrescribed)
 	n.worklist.Push(t)
 }
 
@@ -404,7 +481,7 @@ func (n *Node) retire(t *commTask) {
 		panic(fmt.Sprintf("hcmpi: retiring a %v task", s))
 	}
 	t.reset()
-	t.setState(StateAvailable)
+	n.traceState(t, StateAvailable)
 	n.freelist.Push(t)
 }
 
@@ -424,8 +501,11 @@ func (n *Node) commWorker() {
 			if !ok {
 				break
 			}
-			n.stats.Dispatched.Add(1)
+			n.stats.dispatched.Add(1)
+			n.commRing.Emit(trace.EvCommBusyStart, t.id, int64(t.kind))
+			id := t.id // dispatch may complete and recycle t
 			n.dispatch(t)
+			n.commRing.Emit(trace.EvCommBusyEnd, id, 0)
 			progressed = true
 		}
 
@@ -433,7 +513,7 @@ func (n *Node) commWorker() {
 		// completions either schedule a retransmit (dropped idempotent
 		// sends) or surface through the request DDF; deadline overruns
 		// are failed with ErrTimeout so no awaiter blocks forever.
-		n.stats.Polls.Add(1)
+		n.stats.polls.Add(1)
 		var now time.Time
 		live := n.active[:0]
 		for _, t := range n.active {
@@ -441,7 +521,10 @@ func (n *Node) commWorker() {
 				if n.shouldRetry(t, st) {
 					n.scheduleRetry(t)
 				} else {
+					n.commRing.Emit(trace.EvCommBusyStart, t.id, int64(t.kind))
+					id := t.id
 					n.finishP2P(t, st)
+					n.commRing.Emit(trace.EvCommBusyEnd, id, 0)
 				}
 				progressed = true
 				continue
@@ -469,8 +552,8 @@ func (n *Node) commWorker() {
 			for _, t := range n.pendingRetry {
 				switch {
 				case !t.deadline.IsZero() && now.After(t.deadline):
-					n.stats.Timeouts.Add(1)
-					n.stats.Failures.Add(1)
+					n.stats.timeouts.Add(1)
+					n.stats.failures.Add(1)
 					n.completeLocal(t, &Status{Err: mpi.ErrTimeout})
 					progressed = true
 				case !now.Before(t.retryAt):
@@ -548,7 +631,7 @@ func (n *Node) shouldRetry(t *commTask, st *mpi.Status) bool {
 // scheduleRetry parks a dropped send until its backoff elapses: the delay
 // doubles per attempt from RetryBackoff, capped at 64x the base.
 func (n *Node) scheduleRetry(t *commTask) {
-	n.stats.Retries.Add(1)
+	n.stats.retries.Add(1)
 	backoff := n.cfg.RetryBackoff << t.retries
 	if cap := n.cfg.RetryBackoff << 6; backoff > cap {
 		backoff = cap
@@ -583,17 +666,17 @@ func (n *Node) timeoutTask(t *commTask) {
 		// filled): abandon the MPI request; its late completion is
 		// ignored because the task is no longer polled.
 	}
-	n.stats.Timeouts.Add(1)
-	n.stats.Failures.Add(1)
+	n.stats.timeouts.Add(1)
+	n.stats.failures.Add(1)
 	n.completeLocal(t, &Status{Err: mpi.ErrTimeout})
 }
 
 // finishP2P publishes a (possibly errored) terminal p2p completion.
 func (n *Node) finishP2P(t *commTask, st *mpi.Status) {
 	if st.Err != nil {
-		n.stats.Failures.Add(1)
+		n.stats.failures.Add(1)
 		if errors.Is(st.Err, mpi.ErrTimeout) {
-			n.stats.Timeouts.Add(1)
+			n.stats.timeouts.Add(1)
 		}
 	}
 	n.completeP2P(t, st)
@@ -613,17 +696,17 @@ func (n *Node) armDeadline(t *commTask) {
 func (n *Node) dispatch(t *commTask) {
 	switch t.kind {
 	case kindIsend:
-		n.stats.Sends.Add(1)
+		n.stats.sends.Add(1)
 		if t.tag < 0 {
 			t.req = n.comm.IsendReserved(t.buf, t.peer, t.tag)
 		} else {
 			t.req = n.comm.Isend(t.buf, t.peer, t.tag)
 		}
-		t.setState(StateActive)
+		n.traceState(t, StateActive)
 		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindIrecv:
-		n.stats.Recvs.Add(1)
+		n.stats.recvs.Add(1)
 		switch {
 		case t.tag < 0 && t.tag != mpi.AnyTag:
 			t.req = n.comm.IrecvReserved(t.peer, t.tag)
@@ -633,7 +716,7 @@ func (n *Node) dispatch(t *commTask) {
 		default:
 			t.req = n.comm.Irecv(t.buf, t.peer, t.tag)
 		}
-		t.setState(StateActive)
+		n.traceState(t, StateActive)
 		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindListen:
@@ -642,15 +725,15 @@ func (n *Node) dispatch(t *commTask) {
 		n.listeners = append(n.listeners, l)
 		n.completeLocal(t, &Status{})
 	case kindOneSided:
-		n.stats.Sends.Add(1)
+		n.stats.sends.Add(1)
 		t.req = t.issue()
-		t.setState(StateActive)
+		n.traceState(t, StateActive)
 		n.armDeadline(t)
 		n.active = append(n.active, t)
 	case kindBarrier, kindBcast, kindReduce, kindAllreduce, kindScan,
 		kindGather, kindAllgather, kindScatter, kindCustom:
-		n.stats.Collectives.Add(1)
-		t.setState(StateActive)
+		n.stats.collectives.Add(1)
+		n.traceState(t, StateActive)
 		n.collsInFlight.Add(1)
 		n.collQueue <- t
 	case kindCancel:
@@ -707,8 +790,8 @@ func (n *Node) runCollective(t *commTask) {
 		timer.Stop()
 		n.collDone.Push(&collResult{t: t, st: st})
 	case <-timer.C:
-		n.stats.Timeouts.Add(1)
-		n.stats.Failures.Add(1)
+		n.stats.timeouts.Add(1)
+		n.stats.failures.Add(1)
 		n.collDone.Push(&collResult{t: t, st: &Status{Err: mpi.ErrTimeout}})
 	}
 }
@@ -762,7 +845,7 @@ func (n *Node) completeP2P(t *commTask, st *mpi.Status) {
 // request DDF (releasing awaiting DDTs onto the comm worker's deque), and
 // recycles the structure to AVAILABLE.
 func (n *Node) completeLocal(t *commTask, st *Status) {
-	t.setState(StateCompleted)
+	n.traceState(t, StateCompleted)
 	req := t.request
 	n.retire(t)
 	if req != nil {

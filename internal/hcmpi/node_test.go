@@ -272,12 +272,12 @@ func TestCommTaskRecycling(t *testing.T) {
 			}
 		}
 		n.Barrier(ctx)
-		st := n.Stats()
-		if st.Recycled.Load() == 0 {
-			t.Errorf("rank %d: no comm tasks were recycled (allocated=%d)", n.Rank(), st.Allocated.Load())
+		st := n.StatsSnapshot()
+		if st.Recycled == 0 {
+			t.Errorf("rank %d: no comm tasks were recycled (allocated=%d)", n.Rank(), st.Allocated)
 		}
-		if st.Allocated.Load() > 64 {
-			t.Errorf("rank %d: %d fresh allocations for %d ops; free-list not working", n.Rank(), st.Allocated.Load(), msgs)
+		if st.Allocated > 64 {
+			t.Errorf("rank %d: %d fresh allocations for %d ops; free-list not working", n.Rank(), st.Allocated, msgs)
 		}
 	})
 }
@@ -375,7 +375,7 @@ func TestHCMPICancelPostedRecv(t *testing.T) {
 		req := n.Irecv(buf, 0, 7) // never sent
 		// Give the comm worker time to make the operation ACTIVE.
 		for {
-			if n.Stats().Recvs.Load() > 0 {
+			if n.StatsSnapshot().Recvs > 0 {
 				break
 			}
 			time.Sleep(50 * time.Microsecond)
@@ -440,18 +440,18 @@ func TestStatsAccounting(t *testing.T) {
 			n.Recv(ctx, buf, 0, 0)
 		}
 		n.Barrier(ctx)
-		st := n.Stats()
-		if st.Dispatched.Load() == 0 || st.Polls.Load() == 0 {
+		st := n.StatsSnapshot()
+		if st.Dispatched == 0 || st.Polls == 0 {
 			t.Errorf("stats not accounted: dispatched=%d polls=%d",
-				st.Dispatched.Load(), st.Polls.Load())
+				st.Dispatched, st.Polls)
 		}
-		if n.Rank() == 0 && st.Sends.Load() == 0 {
+		if n.Rank() == 0 && st.Sends == 0 {
 			t.Error("send not counted")
 		}
-		if n.Rank() == 1 && st.Recvs.Load() == 0 {
+		if n.Rank() == 1 && st.Recvs == 0 {
 			t.Error("recv not counted")
 		}
-		if st.Collectives.Load() == 0 {
+		if st.Collectives == 0 {
 			t.Error("barrier not counted as collective")
 		}
 	})

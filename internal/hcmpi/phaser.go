@@ -47,7 +47,7 @@ type phaserGlue struct {
 // instance before participating in the global next.
 func (n *Node) PhaserCreate(mode BarrierMode) *phaser.Phaser {
 	g := &phaserGlue{}
-	cfg := phaser.Config{}
+	cfg := phaser.Config{Trace: n.phaserRing}
 	switch mode {
 	case Fuzzy:
 		cfg.Hooks.OnFirstArrival = func(int64) {
@@ -95,6 +95,7 @@ func (n *Node) PhaserCreate(mode BarrierMode) *phaser.Phaser {
 func (n *Node) AccumCreate(op mpi.Op, dt mpi.Datatype) *phaser.Phaser {
 	combine := localCombiner(op, dt)
 	cfg := phaser.Config{
+		Trace:   n.phaserRing,
 		Combine: combine,
 		Hooks: phaser.Hooks{
 			ExternalRelease: func(_ int64, local any) any {

@@ -61,8 +61,8 @@ func TestRecycleStressUnderConcurrency(t *testing.T) {
 		})
 		// Quiescent: every request completed, so every allocated task was
 		// dispatched. The books must balance exactly.
-		st := n.Stats()
-		dispatched, allocated, recycled := st.Dispatched.Load(), st.Allocated.Load(), st.Recycled.Load()
+		st := n.StatsSnapshot()
+		dispatched, allocated, recycled := st.Dispatched, st.Allocated, st.Recycled
 		if dispatched != allocated+recycled {
 			t.Errorf("rank %d: dispatched %d != allocated %d + recycled %d",
 				n.Rank(), dispatched, allocated, recycled)

@@ -1,0 +1,101 @@
+package hcmpi
+
+import (
+	"bytes"
+	"testing"
+
+	"hcmpi/internal/hc"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/netsim"
+	"hcmpi/internal/trace"
+)
+
+// TestTracedJob runs a small traced job end to end and asserts the
+// tracer captured the comm-task lifecycle, MPI post/match events, and
+// compute activity — and that the Chrome export validates.
+func TestTracedJob(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	metrics := trace.NewMetrics()
+	w := mpi.NewWorld(2, mpi.WithNetwork(netsim.Loopback), mpi.WithTracer(tr))
+	w.Run(func(c *mpi.Comm) {
+		n := NewNode(c, Config{Workers: 2, Tracer: tr})
+		n.Main(func(ctx *hc.Ctx) {
+			switch n.Rank() {
+			case 0:
+				n.Send(ctx, []byte("traced"), 1, 3)
+			case 1:
+				buf := make([]byte, 8)
+				n.Recv(ctx, buf, 0, 3)
+			}
+			ctx.Finish(func(ctx *hc.Ctx) {
+				ctx.Async(func(*hc.Ctx) {})
+			})
+		})
+		metrics.Merge(n.Metrics())
+		n.Close()
+	})
+
+	kinds := map[trace.EventKind]int{}
+	states := map[int64]int{}
+	for _, te := range tr.Snapshot() {
+		for _, e := range te.Events {
+			kinds[e.Kind]++
+			if e.Kind == trace.EvCommState {
+				states[e.B]++
+			}
+		}
+	}
+	for _, k := range []trace.EventKind{
+		trace.EvTaskStart, trace.EvTaskEnd, trace.EvCommState,
+		trace.EvCommBusyStart, trace.EvCommBusyEnd,
+		trace.EvSendPost, trace.EvRecvPost, trace.EvMatch,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events captured", k)
+		}
+	}
+	// Every lifecycle state should have been visited at least once.
+	for s := trace.CommAvailable; s <= trace.CommCompleted; s++ {
+		if states[s] == 0 {
+			t.Errorf("no transition into %s observed", trace.CommStateName(s))
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("traced job export invalid: %v", err)
+	}
+
+	for _, name := range []string{"comm_sends", "comm_recvs", "hc_tasks_run"} {
+		if metrics.Counter(name).Load() == 0 {
+			t.Errorf("metric %s = 0 after traced job", name)
+		}
+	}
+}
+
+// TestUntracedNodeNilSafe checks the disabled-by-default path: a node
+// built without a tracer must run normally and report empty metrics
+// only for comm counters that saw no traffic.
+func TestUntracedNodeNilSafe(t *testing.T) {
+	runNodes(t, 2, 2, func(n *Node, ctx *hc.Ctx) {
+		if n.Tracer() != nil {
+			t.Error("untraced node has a tracer")
+		}
+		switch n.Rank() {
+		case 0:
+			n.Send(ctx, []byte("x"), 1, 1)
+		case 1:
+			n.Recv(ctx, make([]byte, 1), 0, 1)
+		}
+		s := n.StatsSnapshot()
+		if n.Rank() == 0 && s.Sends != 1 {
+			t.Errorf("Sends = %d, want 1", s.Sends)
+		}
+		if n.Rank() == 1 && s.Recvs != 1 {
+			t.Errorf("Recvs = %d, want 1", s.Recvs)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hcmpi/internal/netsim"
+	"hcmpi/internal/trace"
 )
 
 // ThreadMode mirrors MPI's thread support levels.
@@ -61,6 +62,10 @@ type Options struct {
 	// schedule on the interconnect (see netsim.Faults). Zero-valued
 	// faults inject nothing and cost nothing.
 	Faults *netsim.Faults
+	// Tracer, when non-nil, records per-rank MPI endpoint events (send
+	// and receive posts, matches) and interconnect fault events on the
+	// trace timeline.
+	Tracer *trace.Tracer
 }
 
 // Option mutates Options.
@@ -82,6 +87,10 @@ func WithThreadOverhead(d time.Duration) Option { return func(o *Options) { o.Th
 // WithFaults installs a deterministic fault-injection schedule on the
 // world's interconnect.
 func WithFaults(f netsim.Faults) Option { return func(o *Options) { o.Faults = &f } }
+
+// WithTracer attaches a trace timeline to the world's endpoints and
+// interconnect.
+func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t } }
 
 // World is a simulated MPI job: n ranks plus the network joining them.
 type World struct {
@@ -108,6 +117,7 @@ func NewWorld(n int, opts ...Option) *World {
 	if o.Faults != nil {
 		w.net.SetFaults(*o.Faults)
 	}
+	w.net.SetTrace(o.Tracer.Register(trace.NetPid, 0, "faults", trace.TrackNet))
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
 		w.comms[r] = newComm(w, r)
@@ -188,6 +198,11 @@ type Comm struct {
 	// RMA window registry (guarded by mu).
 	wins    map[int]*Win
 	nextWin int
+
+	// ring is this endpoint's trace track (nil with tracing disabled).
+	// It is written from application, comm-worker, and delivery
+	// goroutines; the ring's slot atomics make that safe.
+	ring *trace.Ring
 }
 
 type inMsg struct {
@@ -198,6 +213,7 @@ type inMsg struct {
 func newComm(w *World, rank int) *Comm {
 	c := &Comm{world: w, rank: rank, size: w.n, node: w.net.NodeOf(rank),
 		threadMode: w.opts.ThreadMode, threadOverhead: w.opts.ThreadOverhead}
+	c.ring = w.opts.Tracer.Register(rank, trace.MPITid, "mpi", trace.TrackMPI)
 	c.arrived = sync.NewCond(&c.mu)
 	c.sendFn = func(dest, tag int, payload []byte, onDelivered, onDropped func()) {
 		dc := w.comms[dest]

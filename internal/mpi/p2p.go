@@ -3,6 +3,8 @@ package mpi
 import (
 	"sync"
 	"time"
+
+	"hcmpi/internal/trace"
 )
 
 // Status describes a completed (or cancelled) operation, mirroring
@@ -237,6 +239,7 @@ func (c *Comm) isendOpts(buf []byte, dest, tag int, retries int, timeout time.Du
 	req := newRequest(c, reqSend)
 	src := c.rank
 	req.src, req.tag = src, tag
+	c.ring.Emit(trace.EvSendPost, int64(dest), int64(tag))
 	if c.failed(dest) {
 		req.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
 		exit()
@@ -300,6 +303,7 @@ func (c *Comm) irecvOpts(buf []byte, src, tag int, takeAll bool, timeout time.Du
 	exit := c.enter()
 	req := newRequest(c, reqRecv)
 	req.src, req.tag, req.buf, req.takeAll = src, tag, buf, takeAll
+	c.ring.Emit(trace.EvRecvPost, int64(src), int64(tag))
 	if src != AnySource && c.failed(src) {
 		// A crashed peer can never satisfy this receive; unexpected
 		// messages it sent before dying were already matchable by earlier
@@ -334,6 +338,7 @@ func (c *Comm) irecvOpts(buf []byte, src, tag int, takeAll bool, timeout time.Du
 // fill copies (or adopts) a matched message into the request and
 // completes it.
 func (r *Request) fill(m inMsg) {
+	r.comm.ring.Emit(trace.EvMatch, int64(m.src), int64(m.tag))
 	st := Status{Source: m.src, Tag: m.tag}
 	if r.takeAll {
 		r.payload = m.payload

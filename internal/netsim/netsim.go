@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hcmpi/internal/trace"
 )
 
 // Params describes one interconnect.
@@ -121,6 +123,11 @@ type Network struct {
 	links map[[2]int]*link
 	wg    sync.WaitGroup
 	done  bool
+
+	// ring, when non-nil, records fault-plane events (drops, duplicates,
+	// latency spikes) on the interconnect's trace track. Written once by
+	// SetTrace before traffic starts, read by pump goroutines.
+	ring *trace.Ring
 }
 
 // New creates a network of n ranks. nodeOf maps a rank to its node id; nil
@@ -236,6 +243,7 @@ func (nw *Network) pump(l *link) {
 			if f.SpikeProb > 0 && f.SpikeDelay > 0 && l.rng.chance(f.SpikeProb) {
 				spike = f.SpikeDelay
 				nw.spikes.Add(1)
+				nw.ring.Emit(trace.EvFaultSpike, int64(l.src), int64(l.dst))
 			}
 			drop := f.DropProb > 0 && l.rng.chance(f.DropProb)
 			duplicate = f.DupProb > 0 && l.rng.chance(f.DupProb)
@@ -248,7 +256,7 @@ func (nw *Network) pump(l *link) {
 				}
 			}
 			if drop {
-				nw.drop(m)
+				nw.drop(l, m)
 				continue
 			}
 		}
@@ -256,7 +264,7 @@ func (nw *Network) pump(l *link) {
 			// Crashed endpoints blackhole the message even with no
 			// schedule installed (CrashRank is independent of Faults).
 			if nw.fstate.crashed[l.src].Load() || nw.fstate.crashed[l.dst].Load() {
-				nw.drop(m)
+				nw.drop(l, m)
 				continue
 			}
 		}
@@ -289,14 +297,22 @@ func (nw *Network) pump(l *link) {
 			// never overtake it (or any message sent after it, which is
 			// still queued behind this pump iteration).
 			nw.dups.Add(1)
+			nw.ring.Emit(trace.EvFaultDup, int64(l.src), int64(l.dst))
 			m.deliver()
 		}
 	}
 }
 
-// drop discards a message, counting it and notifying the sender.
-func (nw *Network) drop(m message) {
+// SetTrace attaches a trace ring for fault-plane events. It must be
+// called before any traffic flows (pump goroutines read the field
+// without synchronization).
+func (nw *Network) SetTrace(r *trace.Ring) { nw.ring = r }
+
+// drop discards a message on link l, counting it and notifying the
+// sender.
+func (nw *Network) drop(l *link, m message) {
 	nw.drops.Add(1)
+	nw.ring.Emit(trace.EvFaultDrop, int64(l.src), int64(l.dst))
 	if m.dropped != nil {
 		m.dropped()
 	}

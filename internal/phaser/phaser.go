@@ -24,6 +24,8 @@ package phaser
 import (
 	"fmt"
 	"sync"
+
+	"hcmpi/internal/trace"
 )
 
 // Mode is a task's capability on a phaser.
@@ -77,6 +79,9 @@ type Config struct {
 	// task blocked at next keeps its worker executing other tasks.
 	Waiter func(pred func() bool)
 	Hooks  Hooks
+	// Trace, when non-nil, records signal/wait/release events on this
+	// ring (HCMPI wires the node's phaser track here).
+	Trace *trace.Ring
 }
 
 // Phaser coordinates a dynamic set of registered tasks.
@@ -195,6 +200,7 @@ func (r *Reg) Signal() {
 	myPhase := r.phase
 	r.phase++
 	p.arrived++
+	p.cfg.Trace.Emit(trace.EvPhaserSignal, myPhase, int64(p.arrived))
 	if p.arrived == 1 && p.cfg.Hooks.OnFirstArrival != nil {
 		p.cfg.Hooks.OnFirstArrival(myPhase)
 	}
@@ -242,6 +248,7 @@ func (r *Reg) next(v any, hasVal bool) {
 	myPhase := r.phase
 	r.phase++
 	p.arrived++
+	p.cfg.Trace.Emit(trace.EvPhaserSignal, myPhase, int64(p.arrived))
 	if hasVal && p.cfg.Combine != nil {
 		if p.accLocal == nil {
 			p.accLocal = v
@@ -263,6 +270,11 @@ func (r *Reg) next(v any, hasVal bool) {
 // waitLocked blocks (p.mu held) until ready() is true, either on the
 // condition variable or via the configured help-first Waiter.
 func (p *Phaser) waitLocked(ready func() bool) {
+	if ready() {
+		return
+	}
+	p.cfg.Trace.Emit(trace.EvPhaserWaitStart, p.phase, 0)
+	defer func() { p.cfg.Trace.Emit(trace.EvPhaserWaitEnd, p.phase, 0) }()
 	if p.cfg.Waiter == nil {
 		for !ready() {
 			p.cond.Wait()
@@ -323,6 +335,7 @@ func (p *Phaser) checkCompleteLocked() bool {
 	p.arrived = 0
 	p.phase++
 	p.phases++
+	p.cfg.Trace.Emit(trace.EvPhaserRelease, phase, 0)
 	for _, f := range p.pending {
 		f()
 	}

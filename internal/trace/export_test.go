@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixture records a small deterministic two-rank timeline: task
+// slices (with one help-first nesting), steals, a full comm-task
+// lifecycle, MPI posts/matches, a fault, and phaser events.
+func buildFixture() *Tracer {
+	tr := New(Config{RingSize: 64, now: fakeClock(100)})
+
+	w0 := tr.Register(0, 0, "worker 0", TrackCompute)
+	w1 := tr.Register(0, 1, "worker 1", TrackCompute)
+	comm := tr.Register(0, 2, "comm", TrackComm)
+	mpiT := tr.Register(0, MPITid, "mpi", TrackMPI)
+	net := tr.Register(NetPid, 0, "faults", TrackNet)
+	ph := tr.Register(1, 0, "phasers", TrackPhaser)
+
+	w0.Emit(EvTaskSpawn, 0, 0)
+	w0.Emit(EvTaskStart, 0, 0)
+	w0.Emit(EvTaskStart, 0, 0) // nested: helping at a finish join
+	w0.Emit(EvTaskEnd, 0, 0)
+	w0.Emit(EvTaskEnd, 0, 0)
+
+	w1.Emit(EvStealAttempt, 0, 0)
+	w1.Emit(EvStealFail, 0, 0)
+	w1.Emit(EvStealAttempt, 0, 0)
+	w1.Emit(EvStealSuccess, 0, 0)
+	w1.Emit(EvTaskStart, 0, 0)
+	w1.Emit(EvTaskEnd, 0, 0)
+
+	comm.Emit(EvCommState, 1, CommAllocated)
+	comm.Emit(EvCommState, 1, CommPrescribed)
+	comm.Emit(EvCommBusyStart, 1, 1)
+	comm.Emit(EvCommState, 1, CommActive)
+	comm.Emit(EvCommBusyEnd, 1, 0)
+	comm.Emit(EvCommBusyStart, 1, 1)
+	comm.Emit(EvCommState, 1, CommCompleted)
+	comm.Emit(EvCommState, 1, CommAvailable)
+	comm.Emit(EvCommBusyEnd, 1, 0)
+
+	mpiT.Emit(EvSendPost, 1, 7)
+	mpiT.Emit(EvRecvPost, 0, 7)
+	mpiT.Emit(EvMatch, 0, 7)
+
+	net.Emit(EvFaultDrop, 0, 1)
+
+	ph.Emit(EvPhaserSignal, 0, 1)
+	ph.Emit(EvPhaserWaitStart, 0, 0)
+	ph.Emit(EvPhaserWaitEnd, 1, 0)
+	ph.Emit(EvPhaserRelease, 0, 0)
+	return tr
+}
+
+func TestChromeGolden(t *testing.T) {
+	tr := buildFixture()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/trace -run TestChromeGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome export drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeValid asserts the structural invariants on the fixture
+// export: valid JSON, monotonic timestamps per (pid,tid) track, and
+// balanced B/E slices.
+func TestChromeValid(t *testing.T) {
+	tr := buildFixture()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tracks != 6 {
+		t.Errorf("Tracks = %d, want 6", sum.Tracks)
+	}
+	// worker 0 emits 2 nested slices, worker 1 one, comm two busy slices.
+	if sum.Slices != 5 {
+		t.Errorf("Slices = %d, want 5", sum.Slices)
+	}
+	if sum.Events == 0 || sum.Instants == 0 {
+		t.Errorf("empty summary: %+v", sum)
+	}
+}
+
+// TestChromeOrphanEnds checks the exporter's depth balancing: an End
+// whose Begin was lost to ring overflow is dropped, and an unclosed
+// Begin is closed at the last timestamp — the output always validates.
+func TestChromeOrphanEnds(t *testing.T) {
+	tr := New(Config{RingSize: 16, now: fakeClock(50)})
+	r := tr.Register(0, 0, "w", TrackCompute)
+	r.Emit(EvTaskEnd, 0, 0)   // orphan End (Begin "lost")
+	r.Emit(EvTaskStart, 0, 0) // never closed
+	r.Emit(EvTaskSpawn, 0, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("unbalanced export: %v", err)
+	}
+	if sum.Slices != 1 {
+		t.Errorf("Slices = %d, want 1 (unclosed Begin force-closed)", sum.Slices)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents": [}`,
+		"empty":         `{"traceEvents": []}`,
+		"backwards ts":  `{"traceEvents":[{"name":"a","ph":"i","ts":5,"pid":0,"tid":0},{"name":"b","ph":"i","ts":1,"pid":0,"tid":0}]}`,
+		"E without B":   `{"traceEvents":[{"name":"t","ph":"E","ts":1,"pid":0,"tid":0}]}`,
+		"unclosed B":    `{"traceEvents":[{"name":"t","ph":"B","ts":1,"pid":0,"tid":0}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"t","ph":"Q","ts":1,"pid":0,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted invalid input", name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the unified counter registry: named monotonic counters
+// behind atomic snapshots. It replaces the ad-hoc counters that used to
+// live as private atomics in hc.Runtime and as a live mutable *Stats in
+// hcmpi.Node — readers now get consistent point-in-time values instead
+// of a pointer into state another goroutine is mutating.
+//
+// Counters are cheap enough to stay always-on (one uncontended atomic
+// add); the registry exists independently of any Tracer.
+type Metrics struct {
+	mu    sync.Mutex
+	names []string // registration order
+	by    map[string]*Counter
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{by: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, registering it on first use.
+// Nil-safe: a nil registry hands back a nil counter whose methods are
+// no-ops, so optional instrumentation needs no branches.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.by[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	m.by[name] = c
+	m.names = append(m.names, name)
+	return c
+}
+
+// Counter is one monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value. Nil-safe (returns 0).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Metric is one (name, value) pair of a snapshot.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter's value, sorted by name.
+func (m *Metrics) Snapshot() []Metric {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	out := make([]Metric, 0, len(m.names))
+	for _, n := range m.names {
+		out = append(out, Metric{Name: n, Value: m.by[n].Load()})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Merge adds every counter of o into m (registering names as needed);
+// used to aggregate per-rank registries into a job-wide summary.
+func (m *Metrics) Merge(o *Metrics) {
+	if m == nil || o == nil {
+		return
+	}
+	for _, mv := range o.Snapshot() {
+		m.Counter(mv.Name).Add(mv.Value)
+	}
+}
+
+// Summary renders the non-zero counters as one "name=value ..." line,
+// sorted by name — the standard end-of-run summary format.
+func (m *Metrics) Summary() string {
+	snap := m.Snapshot()
+	var b strings.Builder
+	for _, mv := range snap {
+		if mv.Value == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", mv.Name, mv.Value)
+	}
+	if b.Len() == 0 {
+		return "(no activity)"
+	}
+	return b.String()
+}
