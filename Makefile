@@ -1,10 +1,17 @@
 GO ?= go
 
-.PHONY: tier1 verify test chaos vet trace-demo
+.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+# tier1 with runtime assertions compiled in (internal/invariant) and the
+# race detector on: the deque, free-list, and mpi commit-point invariants
+# are actually checked instead of compiled away.
+tier1-debug:
+	$(GO) build -tags hcmpi_debug ./... && \
+	$(GO) test -tags hcmpi_debug -race -count=1 ./internal/...
 
 # Full CI gate: vet + the entire suite (chaos tests included) under the
 # race detector, uncached.
@@ -18,6 +25,13 @@ test:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestFault|Test.*(Drop|Partition|Crash|Stall|Cancel)' \
 		./internal/netsim/ ./internal/mpi/ ./internal/hcmpi/
+
+# Static analysis gate: go vet plus hclint's five HCMPI-specific
+# analyzers (atomic-mix, lifecycle, ddf-once, hotpath-alloc,
+# test-goroutine). Non-zero exit on any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hclint .
 
 vet:
 	$(GO) vet ./...

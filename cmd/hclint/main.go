@@ -1,0 +1,127 @@
+// Command hclint is the HCMPI static analyzer driver: it loads every
+// package of the module (including test files) with the standard
+// library's go/* packages only, runs the internal/lint analyzer suite,
+// prints findings as "file:line: [check] message", and exits non-zero if
+// anything was found.
+//
+// Usage:
+//
+//	hclint [-tags tag1,tag2] [-checks name1,name2] [dir]
+//
+// dir (default ".") may be the module root, any directory inside the
+// module, or a "./..." pattern — the whole module is always linted.
+// Exit codes: 0 clean, 1 findings, 2 load or usage error.
+//
+// The analyzers and the invariants they defend are catalogued in
+// DESIGN.md §10. Run the debug-assertion complement with
+// `make tier1-debug`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hcmpi/internal/lint"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags (e.g. hcmpi_debug)")
+	checks := flag.String("checks", "", "comma-separated analyzer names (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hclint [-tags t1,t2] [-checks c1,c2] [dir]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = strings.TrimSuffix(flag.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, string(filepath.Separator))
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	suite := lint.All()
+	if *checks != "" {
+		suite, err = lint.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	loader, err := lint.NewLoader(root, tagList...)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			fatal(fmt.Errorf("type error in %s: %v", p.Path, e))
+		}
+	}
+
+	findings := lint.RunAll(pkgs, suite)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Check, f.Msg)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "hclint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("hclint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hclint:", err)
+	os.Exit(2)
+}

@@ -10,6 +10,8 @@ package deque
 
 import (
 	"sync/atomic"
+
+	"hcmpi/internal/invariant"
 )
 
 const initialLogCap = 6 // initial capacity 64
@@ -34,6 +36,8 @@ func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask()].Store(v) }
 
 func (r *ring[T]) grow(bottom, top int64) *ring[T] {
 	nr := newRing[T](r.logCap + 1)
+	invariant.Assert(bottom-top <= int64(len(nr.buf)),
+		"deque: grown ring cannot hold the live window")
 	for i := top; i < bottom; i++ {
 		nr.store(i, r.load(i))
 	}
@@ -58,9 +62,12 @@ func NewDeque[T any]() *Deque[T] {
 }
 
 // Push adds v at the bottom of the deque. Owner-only.
+//
+//hclint:hotpath
 func (d *Deque[T]) Push(v *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
+	invariant.Assert(b >= t, "deque: bottom fell behind top (Push called off the owner?)")
 	r := d.ring.Load()
 	if b-t >= int64(len(r.buf)) {
 		r = r.grow(b, t)
@@ -71,6 +78,8 @@ func (d *Deque[T]) Push(v *T) {
 }
 
 // Pop removes and returns the most recently pushed element. Owner-only.
+//
+//hclint:hotpath
 func (d *Deque[T]) Pop() (*T, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()
@@ -83,6 +92,7 @@ func (d *Deque[T]) Pop() (*T, bool) {
 	}
 	v := r.load(b)
 	if t != b {
+		invariant.Assert(v != nil, "deque: Pop read a nil slot inside the live window")
 		return v, true
 	}
 	// Single element left: race with thieves via CAS on top.
@@ -91,10 +101,13 @@ func (d *Deque[T]) Pop() (*T, bool) {
 	if !ok {
 		return nil, false
 	}
+	invariant.Assert(v != nil, "deque: Pop won the CAS but the slot was nil")
 	return v, true
 }
 
 // Steal removes and returns the oldest element. Safe from any goroutine.
+//
+//hclint:hotpath
 func (d *Deque[T]) Steal() (*T, bool) {
 	for {
 		t := d.top.Load()
@@ -105,6 +118,7 @@ func (d *Deque[T]) Steal() (*T, bool) {
 		r := d.ring.Load()
 		v := r.load(t)
 		if d.top.CompareAndSwap(t, t+1) {
+			invariant.Assert(v != nil, "deque: Steal won the CAS but the slot was nil")
 			return v, true
 		}
 		// Lost the race; retry with fresh indices.

@@ -37,12 +37,18 @@ func TestSecondPutPanics(t *testing.T) {
 		rt.Root(func(ctx *Ctx) {
 			d := NewDDF()
 			d.Put(ctx, 1)
-			defer func() {
-				if recover() == nil {
-					t.Error("second Put did not panic")
-				}
-			}()
-			d.Put(ctx, 2)
+			// The second Put lives in its own function body: hclint's
+			// ddf-once analyzer (correctly) rejects two Puts on one DDF
+			// along one path, and this test exists to exercise exactly
+			// that panic.
+			secondPut := func() (panicked bool) {
+				defer func() { panicked = recover() != nil }()
+				d.Put(ctx, 2)
+				return false
+			}
+			if !secondPut() {
+				t.Error("second Put did not panic")
+			}
 		})
 	})
 }

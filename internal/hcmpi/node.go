@@ -24,6 +24,7 @@ import (
 
 	"hcmpi/internal/deque"
 	"hcmpi/internal/hc"
+	"hcmpi/internal/invariant"
 	"hcmpi/internal/mpi"
 	"hcmpi/internal/trace"
 )
@@ -468,6 +469,8 @@ func (n *Node) allocTask() *commTask {
 // prescribe publishes a fully initialized task to the communication
 // worker.
 func (n *Node) prescribe(t *commTask) {
+	invariant.Assertf(t.State() == StateAllocated,
+		"hcmpi: prescribing a %v task (must come fresh from allocTask)", t.State())
 	n.traceState(t, StatePrescribed)
 	n.worklist.Push(t)
 }
@@ -694,6 +697,8 @@ func (n *Node) armDeadline(t *commTask) {
 // ACTIVE and are polled; collectives block the communication worker until
 // done, exactly as the paper describes.
 func (n *Node) dispatch(t *commTask) {
+	invariant.Assertf(t.State() == StatePrescribed,
+		"hcmpi: dispatching a %v task (worklist must carry PRESCRIBED tasks only)", t.State())
 	switch t.kind {
 	case kindIsend:
 		n.stats.sends.Add(1)
@@ -845,6 +850,11 @@ func (n *Node) completeP2P(t *commTask, st *mpi.Status) {
 // request DDF (releasing awaiting DDTs onto the comm worker's deque), and
 // recycles the structure to AVAILABLE.
 func (n *Node) completeLocal(t *commTask, st *Status) {
+	if invariant.Enabled {
+		s := t.State()
+		invariant.Assertf(s == StatePrescribed || s == StateActive,
+			"hcmpi: completing a %v task (double completion or completion after retire)", s)
+	}
 	n.traceState(t, StateCompleted)
 	req := t.request
 	n.retire(t)

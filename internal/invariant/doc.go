@@ -1,0 +1,19 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// HCMPI runtime's lock-free internals.
+//
+// By default (no tags) Enabled is the constant false and Assert/Assertf
+// are empty functions, so assertion sites compile to nothing: the
+// Chase–Lev deque, the comm-task free list, and mpi's unpost commit
+// point stay exactly as fast as before. Building with
+//
+//	go build -tags hcmpi_debug ./...
+//	go test  -tags hcmpi_debug -race ./internal/...
+//
+// turns every assertion into a check that panics with an "invariant: "
+// prefix on violation. The Makefile's tier1-debug target runs the full
+// tier-1 suite this way.
+//
+// See DESIGN.md §10 for the catalogue of asserted invariants and the
+// division of labor between these runtime checks and hclint's static
+// analyzers.
+package invariant

@@ -1,0 +1,17 @@
+//go:build !hcmpi_debug
+
+package invariant
+
+// Enabled reports whether runtime assertions are compiled in. In the
+// default build it is a constant false, so every `if invariant.Enabled`
+// guard and every Assert/Assertf call site is dead code the compiler
+// deletes entirely — the hot paths pay nothing.
+const Enabled = false
+
+// Assert is a no-op in non-debug builds.
+func Assert(bool, string) {}
+
+// Assertf is a no-op in non-debug builds. Arguments are still
+// evaluated, so call sites that need to avoid evaluation cost should
+// guard with `if invariant.Enabled`.
+func Assertf(bool, string, ...any) {}

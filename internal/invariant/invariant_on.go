@@ -1,0 +1,25 @@
+//go:build hcmpi_debug
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether runtime assertions are compiled in.
+const Enabled = true
+
+// Assert panics with "invariant: "+msg if cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant: " + msg)
+	}
+}
+
+// Assertf is Assert with formatting. The arguments are evaluated even
+// when cond holds; guard expensive ones with `if invariant.Enabled` —
+// in debug builds that keeps the cost explicit, and in release builds
+// the whole block disappears.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,43 @@
+package invariant
+
+import "testing"
+
+// The meaningful behavior (panic vs no-op) depends on the hcmpi_debug
+// build tag, so this file runs under both: `go test ./internal/invariant`
+// exercises the release no-ops, `go test -tags hcmpi_debug` the checks.
+
+func TestAssertHolding(t *testing.T) {
+	Assert(true, "must not fire")
+	Assertf(true, "must not fire: %d", 42)
+}
+
+func TestAssertViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if Enabled {
+			if r == nil {
+				t.Fatal("debug build: Assert(false) did not panic")
+			}
+			if s, ok := r.(string); !ok || s != "invariant: boom" {
+				t.Fatalf("panic value = %v, want %q", r, "invariant: boom")
+			}
+		} else if r != nil {
+			t.Fatalf("release build: Assert(false) panicked: %v", r)
+		}
+	}()
+	Assert(false, "boom")
+}
+
+func TestAssertfViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if Enabled {
+			if s, ok := r.(string); !ok || s != "invariant: task 7 in state 3" {
+				t.Fatalf("panic value = %v, want formatted message", r)
+			}
+		} else if r != nil {
+			t.Fatalf("release build: Assertf(false) panicked: %v", r)
+		}
+	}()
+	Assertf(false, "task %d in state %d", 7, 3)
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// DDFOnce reports two Put/PutVia calls on the same DDF value that lie on
+// one control path within a function body. A DDF is single-assignment
+// (paper §III): the second Put panics (internal/hc/ddf.go), so two calls
+// on one path are a guaranteed crash whenever that path executes. Calls
+// in mutually exclusive branches (if/else, switch cases) are fine, as is
+// a Put in a branch that returns before the other call. Callers that
+// genuinely race for first-put semantics must use TryPut and handle
+// ErrDDFAlreadyPut.
+var DDFOnce = &Analyzer{
+	Name: "ddf-once",
+	Doc:  "two Put/PutVia calls on the same DDF along one path is a guaranteed panic",
+	Run:  runDDFOnce,
+}
+
+const ddfTypeName = "DDF"
+
+// ddfPutCall is one Put/PutVia call site with its receiver key and the
+// stack of enclosing block scopes (BlockStmt, CaseClause, or CommClause
+// nodes; innermost last).
+type ddfPutCall struct {
+	call   *ast.CallExpr
+	method string
+	blocks []ast.Node
+}
+
+func runDDFOnce(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, ddfScanFunc(p, fn.Body)...)
+				}
+				return false
+			case *ast.FuncLit:
+				// Package-level literals in var initializers; nested
+				// literals are handed off during the body scan.
+				out = append(out, ddfScanFunc(p, fn.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blockList returns the statement list of a block scope node.
+func blockList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// ddfScanFunc scans one function body, handing nested function literals
+// their own scan (a closure body is a different dynamic extent).
+func ddfScanFunc(p *Package, body *ast.BlockStmt) []Finding {
+	calls := map[string][]ddfPutCall{}
+	var blocks []ast.Node
+	var out []Finding
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			out = append(out, ddfScanFunc(p, v.Body)...)
+			return
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			blocks = append(blocks, n)
+			for _, s := range blockList(n) {
+				walk(s)
+			}
+			// Case/comm clauses also carry guard expressions/statements.
+			if cc, ok := v.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					walk(e)
+				}
+			}
+			if cc, ok := v.(*ast.CommClause); ok && cc.Comm != nil {
+				walk(cc.Comm)
+			}
+			blocks = blocks[:len(blocks)-1]
+			return
+		case *ast.CallExpr:
+			if key, method, ok := ddfPut(p, v); ok {
+				calls[key] = append(calls[key], ddfPutCall{
+					call: v, method: method,
+					blocks: append([]ast.Node{}, blocks...),
+				})
+			}
+		}
+		// Generic descent into direct children.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c)
+			}
+			return false
+		})
+	}
+	walk(body)
+
+	for _, sites := range calls {
+		sort.Slice(sites, func(i, j int) bool { return sites[i].call.Pos() < sites[j].call.Pos() })
+		for i := 1; i < len(sites); i++ {
+			a, b := sites[i-1], sites[i]
+			if !ddfSamePath(a, b) {
+				continue
+			}
+			first := p.position(a.call.Pos())
+			out = append(out, p.findingf("ddf-once", b.call.Pos(),
+				"second %s on a DDF already put at %s:%d — DDFs are single-assignment and this panics; use TryPut if racing for first-put",
+				b.method, relBase(first.Filename), first.Line))
+		}
+	}
+	return out
+}
+
+// ddfPut reports whether call is recv.Put/recv.PutVia on a DDF-typed
+// receiver with a stable (call-free, index-free) receiver expression,
+// returning the receiver key.
+func ddfPut(p *Package, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	if method != "Put" && method != "PutVia" {
+		return "", "", false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != ddfTypeName {
+		return "", "", false
+	}
+	if !stableExpr(sel.X) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}
+
+// stableExpr reports whether an expression denotes the same value each
+// time it is evaluated within a body: an identifier or a chain of field
+// selections off one. Calls and index expressions are excluded.
+func stableExpr(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return stableExpr(v.X)
+	case *ast.StarExpr:
+		return stableExpr(v.X)
+	}
+	return false
+}
+
+// ddfSamePath reports whether two calls (a before b in source order) can
+// execute on one control path: same block, or one call's block stack is
+// a prefix of the other's — unless the deeper, earlier call sits in a
+// branch that unconditionally leaves the block before the outer call.
+func ddfSamePath(a, b ddfPutCall) bool {
+	n := min(len(a.blocks), len(b.blocks))
+	for i := 0; i < n; i++ {
+		if a.blocks[i] != b.blocks[i] {
+			return false // diverging branches (if/else, switch arms)
+		}
+	}
+	if len(a.blocks) <= len(b.blocks) {
+		// Same block, or a in the outer block with b nested after it:
+		// the path into b's branch executes both.
+		return true
+	}
+	// a nested, b later in an outer block: if any block between a and
+	// the common depth ends by leaving (return/branch/panic), the two
+	// calls are on exclusive paths.
+	for i := len(a.blocks) - 1; i >= len(b.blocks); i-- {
+		if list := blockList(a.blocks[i]); len(list) > 0 && terminates(list[len(list)-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathAlloc enforces the //hclint:hotpath annotation: the runtime's
+// per-operation fast paths — trace ring Emit, the Chase–Lev deque's
+// Push/Pop/Steal, netsim's instant-delivery path — must stay
+// allocation-free, or every task spawn and steal pays GC pressure the
+// paper's microsecond-scale overheads (§IV) cannot absorb. Annotated
+// functions may not contain:
+//
+//   - composite literals (T{…} — heap-allocates when it escapes, and the
+//     fast paths hand values to other goroutines, so it escapes)
+//   - append (growth allocates; even non-growing appends defeat the
+//     bounded-memory guarantee of the rings)
+//   - function literals (closure environments allocate)
+//   - any call into package fmt (allocates and takes locks)
+//   - make / new
+//   - interface boxing: converting a non-pointer-shaped value to an
+//     interface type allocates the boxed copy
+//
+// The annotation is a doc-comment line of exactly "//hclint:hotpath".
+// Slow paths must live in separate, unannotated functions (e.g. the
+// deque's grow); a call to a slow-path function is fine — the cost is
+// then explicit at the call boundary.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "//hclint:hotpath functions must not allocate",
+	Run:  runHotpathAlloc,
+}
+
+const hotpathMarker = "//hclint:hotpath"
+
+func runHotpathAlloc(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc) {
+				continue
+			}
+			out = append(out, hotpathScan(p, fd)...)
+		}
+	}
+	return out
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func hotpathScan(p *Package, fd *ast.FuncDecl) []Finding {
+	name := fd.Name.Name
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, p.findingf("hotpath-alloc", n.Pos(),
+			name+" is //hclint:hotpath but "+format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			report(v, "contains a composite literal (allocates); move it to an unannotated slow-path function")
+		case *ast.FuncLit:
+			report(v, "creates a closure (the environment allocates)")
+			return false
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(p, v, "append"):
+				report(v, "calls append (growth allocates)")
+			case isBuiltin(p, v, "make"):
+				report(v, "calls make (allocates)")
+			case isBuiltin(p, v, "new"):
+				report(v, "calls new (allocates)")
+			default:
+				if fn := calleeFunc(p, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					report(v, "calls fmt.%s (allocates and takes locks)", fn.Name())
+				}
+				out = append(out, hotpathBoxedArgs(p, name, v)...)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) {
+					break
+				}
+				if lt := exprType(p, v.Lhs[i]); lt != nil && boxes(p, lt, rhs) {
+					report(rhs, "boxes %s into interface %s (allocates)", types.ExprString(rhs), lt)
+				}
+			}
+		case *ast.ReturnStmt:
+			// Results against the signature.
+			sig, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				break
+			}
+			res := sig.Type().(*types.Signature).Results()
+			if res.Len() != len(v.Results) {
+				break
+			}
+			for i, r := range v.Results {
+				if boxes(p, res.At(i).Type(), r) {
+					report(r, "boxes the return value into interface %s (allocates)", res.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hotpathBoxedArgs flags call arguments that box into interface-typed
+// parameters. Conversions T(x) where T is an interface are caught here
+// too (the "callee" is the type).
+func hotpathBoxedArgs(p *Package, name string, call *ast.CallExpr) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, p.findingf("hotpath-alloc", n.Pos(),
+			name+" is //hclint:hotpath but "+format, args...))
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		// Conversion: interface target?
+		if len(call.Args) == 1 && boxes(p, tv.Type, call.Args[0]) {
+			report(call, "boxes %s into interface %s (allocates)", types.ExprString(call.Args[0]), tv.Type)
+		}
+		return out
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(p, pt, arg) {
+			report(arg, "boxes argument %s into interface %s (allocates)", types.ExprString(arg), pt)
+		}
+	}
+	return out
+}
+
+// boxes reports whether assigning arg to a target of type dst converts a
+// non-pointer-shaped concrete value to an interface (which allocates).
+// Pointer-shaped values (pointers, maps, channels, funcs, unsafe
+// pointers) fit in the interface word directly.
+func boxes(p *Package, dst types.Type, arg ast.Expr) bool {
+	if !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}

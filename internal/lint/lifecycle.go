@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lifecycle enforces the communication-task recycling protocol (paper
+// Fig. 11, ALLOCATED→PRESCRIBED→ACTIVE→COMPLETED→AVAILABLE):
+//
+//  1. The commTask state field changes only through Node.traceState
+//     (which records the transition on the trace timeline) — concretely,
+//     setState may be called only by traceState, and the state field's
+//     atomic Store/Swap/CompareAndSwap only by setState.
+//  2. Once a task is passed to a retiring function (retire, or anything
+//     that transitively hands its parameter to retire — completeLocal,
+//     dispatch, …) it may be back on the free-list and re-allocated by
+//     another goroutine; any later use of that variable in the same
+//     block is a use-after-recycle. (The check is per-block and resets
+//     on reassignment, so the poll loop's "save t.id before dispatch"
+//     idiom passes while "dispatch then read t.id" fails.)
+var Lifecycle = &Analyzer{
+	Name: "lifecycle",
+	Doc:  "commTask state changes only via traceState; no commTask use after retire",
+	Run:  runLifecycle,
+}
+
+const (
+	lcTaskType   = "commTask"
+	lcStateField = "state"
+	lcWrapper    = "traceState"
+	lcSetter     = "setState"
+	lcRetireRoot = "retire"
+)
+
+func runLifecycle(p *Package) []Finding {
+	scope := p.Types.Scope()
+	taskObj, ok := scope.Lookup(lcTaskType).(*types.TypeName)
+	if !ok {
+		return nil // package has no comm-task machinery
+	}
+	taskNamed, ok := taskObj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	out = append(out, lcStateWrites(p, taskNamed)...)
+	out = append(out, lcUseAfterRetire(p, taskNamed)...)
+	return out
+}
+
+func isCommTask(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == lcTaskType
+}
+
+// lcStateWrites implements rule 1.
+func lcStateWrites(p *Package, task *types.Named) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// t.setState(...) outside traceState.
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Name() == lcSetter && recvIsCommTask(fn) {
+					if name != lcWrapper {
+						out = append(out, p.findingf("lifecycle", call.Pos(),
+							"comm-task state must change through %s, not a direct %s call (the trace timeline misses this transition)",
+							lcWrapper, lcSetter))
+					}
+					return true
+				}
+				// t.state.Store/Swap/CompareAndSwap outside setState.
+				switch sel.Sel.Name {
+				case "Store", "Swap", "CompareAndSwap":
+				default:
+					return true
+				}
+				inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv := fieldVar(p, inner)
+				if fv == nil || fv.Name() != lcStateField || !isCommTask(exprType(p, inner.X)) {
+					return true
+				}
+				if name != lcSetter {
+					out = append(out, p.findingf("lifecycle", call.Pos(),
+						"comm-task state written directly; only %s (via %s) may move the lifecycle state machine",
+						lcSetter, lcWrapper))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func recvIsCommTask(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isCommTask(sig.Recv().Type())
+}
+
+func exprType(p *Package, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// lcUseAfterRetire implements rule 2.
+func lcUseAfterRetire(p *Package, task *types.Named) []Finding {
+	retiring := lcRetiringFuncs(p)
+	if len(retiring) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, lcScanBlock(p, retiring, fd.Body.List)...)
+		}
+	}
+	// Function-literal bodies can be collected once per nesting level;
+	// drop the duplicate reports that produces.
+	return dedupe(out)
+}
+
+// lcRetiringFuncs computes, to a fixpoint, the set of package functions
+// that (transitively) retire a *commTask parameter: retireSet[fn] holds
+// the indices of parameters that reach retire.
+func lcRetiringFuncs(p *Package) map[*types.Func]map[int]bool {
+	retiring := map[*types.Func]map[int]bool{}
+	// Seed: functions named "retire" taking a commTask parameter.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fn.Name() != lcRetireRoot {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isCommTask(sig.Params().At(i).Type()) {
+					if retiring[fn] == nil {
+						retiring[fn] = map[int]bool{}
+					}
+					retiring[fn][i] = true
+				}
+			}
+		}
+	}
+	// Propagate: F passing its commTask parameter into a retiring
+	// parameter of G is itself retiring in that parameter.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			params := lcParamVars(p, fd)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p, call)
+				argIdx, ok := retiring[callee]
+				if !ok {
+					return true
+				}
+				for i := range argIdx {
+					if i >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := p.Info.Uses[id].(*types.Var)
+					if !ok {
+						continue
+					}
+					if pi, isParam := params[v]; isParam && !retiring[fn][pi] {
+						if retiring[fn] == nil {
+							retiring[fn] = map[int]bool{}
+						}
+						retiring[fn][pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return retiring
+}
+
+func lcParamVars(p *Package, fd *ast.FuncDecl) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && isCommTask(v.Type()) {
+				out[v] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}
+
+// lcScanBlock walks one statement list in order. A retiring call whose
+// argument is a plain commTask identifier kills that variable for the
+// rest of the block; a later statement using it is reported.
+// Reassignment revives the variable. Kills inside nested blocks do not
+// leak out (the branch may not be taken, and branches that retire
+// typically continue/return), but uses inside nested blocks after a
+// same-block kill are reported.
+func lcScanBlock(p *Package, retiring map[*types.Func]map[int]bool, stmts []ast.Stmt) []Finding {
+	var out []Finding
+	killed := map[*types.Var]token.Position{}
+	for _, stmt := range stmts {
+		// 1. Uses of already-killed variables anywhere in this statement.
+		if len(killed) > 0 {
+			reassigned := lcReassignedVars(p, stmt)
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || reassigned[id] {
+					return true
+				}
+				v, ok := p.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if at, dead := killed[v]; dead {
+					out = append(out, p.findingf("lifecycle", id.Pos(),
+						"%s may already be recycled (retired at %s:%d); reading or writing it here races with its next allocation",
+						id.Name, relBase(at.Filename), at.Line))
+				}
+				return true
+			})
+		}
+		// 2. Reassignment revives.
+		for v := range lcAssignedObjs(p, stmt) {
+			delete(killed, v)
+		}
+		// 3. New kills from retiring calls in this statement — but only
+		// at this block's level: a retire inside a nested block (an if
+		// branch that then continues/returns) must not kill the variable
+		// for statements after the branch, which may be on the
+		// not-taken path. Nested blocks get their own scan in step 4.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false // closure bodies run elsewhere
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return false // nested scopes scanned separately
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := retiring[calleeFunc(p, call)]
+			if !ok {
+				return true
+			}
+			for i := range argIdx {
+				if i >= len(call.Args) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok {
+					if v, ok := p.Info.Uses[id].(*types.Var); ok {
+						killed[v] = p.position(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+		// 4. Recurse into nested blocks with a fresh kill set.
+		for _, nested := range nestedStmtLists(stmt) {
+			out = append(out, lcScanBlock(p, retiring, nested)...)
+		}
+	}
+	return out
+}
+
+// lcReassignedVars returns the identifier nodes that are pure
+// reassignment targets in stmt (plain `v = …` / `v := …` LHS idents) —
+// these are writes of a fresh value, not uses of the old one.
+func lcReassignedVars(p *Package, stmt ast.Stmt) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return out
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// lcAssignedObjs returns the variables stmt assigns a fresh value to.
+func lcAssignedObjs(p *Package, stmt ast.Stmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok {
+					out[v] = true
+				} else if v, ok := p.Info.Defs[id].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok {
+							out[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nestedStmtLists returns the statement lists nested directly inside one
+// statement (if/else bodies, loop bodies, switch/select clauses, bare
+// blocks, and function literal bodies anywhere within).
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	// Function literals anywhere in the statement get their own scan.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl.Body.List)
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,238 @@
+// Package lint is hclint's engine: a stdlib-only static analyzer suite
+// that enforces the HCMPI runtime's concurrency invariants at compile
+// time. It is built exclusively on go/parser, go/ast, go/types,
+// go/importer and go/build — no golang.org/x/tools — so it honors the
+// repository's no-external-dependencies rule.
+//
+// The runtime's most delicate invariants live in lock-free code whose
+// correctness the type system cannot see: the Chase–Lev deque's
+// owner/thief split, the communication-task recycling free-list
+// (ALLOCATED→PRESCRIBED→ACTIVE→COMPLETED→AVAILABLE, paper Fig. 11),
+// single-assignment DDFs, and the wait-free trace rings. Each analyzer
+// here machine-checks one of those invariants on every build, instead of
+// hoping a -race run gets lucky:
+//
+//   - atomic-mix: a field accessed through sync/atomic helpers anywhere
+//     must never be read or written plainly.
+//   - lifecycle: comm-task state changes only through Node.traceState,
+//     and no commTask use may follow a retiring call in the same block.
+//   - ddf-once: two Put/PutVia calls on the same DDF along one control
+//     path is a guaranteed panic (single assignment).
+//   - hotpath-alloc: functions annotated //hclint:hotpath must stay
+//     allocation-free (no composite literals, append, closures, fmt, or
+//     interface boxing).
+//   - test-goroutine: t.Fatal/FailNow/Skip inside a go statement in
+//     _test.go files (testing.T.FailNow must run on the test goroutine).
+//
+// See DESIGN.md §10 for the invariant catalogue and how to add an
+// analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic: a position, the analyzer that produced it,
+// and a message. The rendered form is "file:line: [check] message".
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Package is one type-checked analysis unit: a package's files (possibly
+// augmented with its in-package _test.go files, or an external _test
+// package) plus the go/types information analyzers query.
+type Package struct {
+	Path   string // import path ("hcmpi/internal/deque")
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	Errors []error // type errors; analyzers still run best-effort
+}
+
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+func (p *Package) findingf(check string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: p.position(pos), Check: check, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// All returns the default analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicMix, Lifecycle, DDFOnce, HotpathAlloc, TestGoroutine}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names []string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// RunAll applies every analyzer to every package and returns the
+// findings sorted by file, line, then check name.
+func RunAll(pkgs []*Package, checks []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range checks {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// dedupe removes exact-duplicate findings (same position, check, and
+// message), preserving order.
+func dedupe(fs []Finding) []Finding {
+	seen := map[string]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		k := f.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// relBase shortens a filename for use inside messages (the finding's own
+// position already carries the full path).
+func relBase(filename string) string {
+	return filepath.Base(filename)
+}
+
+// ---- shared AST/type helpers ----
+
+// calleeFunc resolves a call's callee to its *types.Func, or nil for
+// builtins, conversions, and indirect calls through function values.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		return calleeFunc(p, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(p, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// fieldVar resolves expr to the struct-field (or package-level) variable
+// it denotes, or nil.
+func fieldVar(p *Package, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Var).
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok && !v.IsField() {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return v // package-level var
+			}
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing block: return, branch (break/continue/goto), or a call to
+// panic.
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

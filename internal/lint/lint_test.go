@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// fixtures maps each analyzer to its known-bad testdata package.
+var fixtures = map[string]string{
+	"atomic-mix":     "atomicmix",
+	"lifecycle":      "lifecycle",
+	"ddf-once":       "ddfonce",
+	"hotpath-alloc":  "hotpath",
+	"test-goroutine": "testgoroutine",
+}
+
+// TestFixtures runs each analyzer alone over its fixture package and
+// compares the diagnostics (with basename-relative positions) against
+// the package's expect.txt golden. Regenerate with: go test -run
+// Fixtures ./internal/lint -update
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		dir, ok := fixtures[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no fixture package", a.Name)
+			continue
+		}
+		t.Run(a.Name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", dir)
+			pkg, err := LoadPackageDir(root)
+			if err != nil {
+				t.Fatalf("load %s: %v", root, err)
+			}
+			for _, e := range pkg.Errors {
+				t.Errorf("fixture %s has type errors: %v", dir, e)
+			}
+			var lines []string
+			for _, f := range RunAll([]*Package{pkg}, []*Analyzer{a}) {
+				f.Pos.Filename = filepath.Base(f.Pos.Filename)
+				lines = append(lines, f.String())
+			}
+			got := strings.Join(lines, "\n")
+			if got != "" {
+				got += "\n"
+			}
+			golden := filepath.Join(root, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantB, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if want := string(wantB); got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			// Cross-check the golden against the // want: markers in the
+			// fixture source, so the two cannot silently drift apart.
+			checkWantMarkers(t, root, got)
+		})
+	}
+}
+
+// checkWantMarkers asserts a 1:1 match between "// want:" comments in
+// the fixture sources and the lines of the rendered golden.
+func checkWantMarkers(t *testing.T, dir, got string) {
+	t.Helper()
+	wanted := map[string]int{} // "file:line" → count
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "// want:") {
+				wanted[fmt.Sprintf("%s:%d", e.Name(), i+1)]++
+			}
+		}
+	}
+	reported := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		// "file.go:NN: [check] msg" → "file.go:NN"
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) < 3 {
+			t.Fatalf("unparseable finding %q", line)
+		}
+		reported[parts[0]+":"+parts[1]]++
+	}
+	for pos := range wanted {
+		if reported[pos] == 0 {
+			t.Errorf("fixture marks %s with // want: but no finding was reported there", pos)
+		}
+	}
+	for pos := range reported {
+		if wanted[pos] == 0 {
+			t.Errorf("finding reported at %s but the fixture has no // want: marker there", pos)
+		}
+	}
+}
+
+// TestLiveTreeClean loads the real module and asserts the full analyzer
+// suite reports nothing: `make lint` must stay green.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	for _, f := range RunAll(pkgs, All()) {
+		t.Errorf("live tree finding: %s", f)
+	}
+}
+
+// TestByName covers the analyzer-selection path used by the -checks flag.
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"ddf-once", "atomic-mix"})
+	if err != nil || len(as) != 2 || as[0].Name != "ddf-once" || as[1].Name != "atomic-mix" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}

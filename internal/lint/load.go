@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks every package of a module using only the
+// standard library. Module-internal imports are resolved by the loader
+// itself (import path = module path + relative directory); standard
+// library imports go through go/importer's source importer, which
+// type-checks GOROOT sources and therefore needs no pre-compiled export
+// data. Third-party imports are unsupported — the module is
+// dependency-free by policy, and hclint enforces its own world.
+//
+// Each directory yields up to two analysis units: the package including
+// its in-package _test.go files, and (if present) the external _test
+// package. Build constraints (//go:build lines and GOOS/GOARCH filename
+// suffixes) are honored against the loader's tag set, so mutually
+// exclusive files like internal/invariant's hcmpi_debug on/off pair
+// never collide.
+type Loader struct {
+	Fset *token.FileSet
+	Tags map[string]bool // extra build tags (e.g. hcmpi_debug)
+
+	root    string
+	module  string
+	std     types.Importer
+	base    map[string]*Package // import path → base unit (importable)
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewLoader creates a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string, tags ...string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	l := newLoader(tags)
+	l.root, l.module = root, module
+	return l, nil
+}
+
+func newLoader(tags []string) *Loader {
+	// The source importer parses GOROOT packages with the global
+	// build.Default context; cgo-flavoured files (package net) would make
+	// it shell out to the cgo tool, so force the pure-Go paths.
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Tags:    map[string]bool{},
+		base:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	for _, t := range tags {
+		if t != "" {
+			l.Tags[t] = true
+		}
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l
+}
+
+// LoadModule loads every package under the module root, skipping
+// testdata, hidden, and underscore directories, and returns the analysis
+// units in deterministic (path-sorted) order.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != l.root &&
+			(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var units []*Package
+	for _, dir := range dirs {
+		us, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// LoadPackageDir type-checks the single package in dir — including its
+// in-package _test.go files — outside any module, resolving every import
+// through the standard library. Analyzer fixture tests use it to load
+// testdata packages.
+func LoadPackageDir(dir string, tags ...string) (*Package, error) {
+	l := newLoader(tags)
+	src, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(src.xtest) > 0 {
+		return nil, fmt.Errorf("lint: external test packages unsupported in %s", dir)
+	}
+	return l.check(src.name, dir, append(src.base, src.intest...), nil)
+}
+
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// dirSource is one directory's parsed, build-constraint-filtered files.
+type dirSource struct {
+	name   string // package name of the base files
+	base   []*ast.File
+	intest []*ast.File // _test.go files in the base package
+	xtest  []*ast.File // _test.go files in the external "_test" package
+}
+
+func (l *Loader) parseDir(dir string) (*dirSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	src := &dirSource{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		if !matchFileName(name, l.Tags) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !matchConstraints(f, l.Tags) {
+			continue
+		}
+		pkg := f.Name.Name
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			src.base = append(src.base, f)
+			src.name = pkg
+		case strings.HasSuffix(pkg, "_test"):
+			src.xtest = append(src.xtest, f)
+		default:
+			src.intest = append(src.intest, f)
+		}
+	}
+	if src.name == "" { // test-only directory
+		if len(src.intest) > 0 {
+			src.name = src.intest[0].Name.Name
+		} else if len(src.xtest) > 0 {
+			src.name = strings.TrimSuffix(src.xtest[0].Name.Name, "_test")
+		}
+	}
+	return src, nil
+}
+
+// loadDir returns the analysis units for one directory: the package with
+// its in-package tests, plus the external test package if present.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	src, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(src.base)+len(src.intest)+len(src.xtest) == 0 {
+		return nil, nil
+	}
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var units []*Package
+	analysis := l.base[path] // may have been loaded as an import already
+	if analysis == nil || len(src.intest) > 0 {
+		analysis, err = l.check(path, dir, append(append([]*ast.File{}, src.base...), src.intest...), nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(src.intest) == 0 {
+			l.base[path] = analysis
+		}
+	}
+	if len(src.base) > 0 || len(src.intest) > 0 {
+		units = append(units, analysis)
+	}
+
+	if len(src.xtest) > 0 {
+		// The external test package imports the package under test
+		// *with* its in-package test files, like go test does.
+		xt, err := l.check(path+"_test", dir, src.xtest, map[string]*Package{path: analysis})
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, xt)
+	}
+	return units, nil
+}
+
+// loadBase loads a package for importing: its non-test files only.
+func (l *Loader) loadBase(path string) (*Package, error) {
+	if p, ok := l.base[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := l.dirFor(path)
+	src, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.check(path, dir, src.base, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.base[path] = p
+	return p, nil
+}
+
+// check type-checks one unit. overrides maps import paths to
+// already-checked packages (used so an external test package sees the
+// test-augmented package under test).
+func (l *Loader) check(path, dir string, files []*ast.File, overrides map[string]*Package) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: &unitImporter{l: l, overrides: overrides},
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	return &Package{
+		Path: path, Dir: dir, Fset: l.Fset,
+		Files: files, Types: tpkg, Info: info, Errors: errs,
+	}, nil
+}
+
+// unitImporter resolves one unit's imports: overrides first, then
+// module-internal packages through the loader, then the standard
+// library through the source importer.
+type unitImporter struct {
+	l         *Loader
+	overrides map[string]*Package
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := u.overrides[path]; ok {
+		return p.Types, nil
+	}
+	if u.l.module != "" && (path == u.l.module || strings.HasPrefix(path, u.l.module+"/")) {
+		p, err := u.l.loadBase(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Errors) > 0 {
+			return nil, fmt.Errorf("lint: %s has type errors: %v", path, p.Errors[0])
+		}
+		return p.Types, nil
+	}
+	return u.l.std.Import(path)
+}
+
+// ---- build constraint evaluation ----
+
+// matchFileName applies the _GOOS/_GOARCH filename convention.
+func matchFileName(name string, tags map[string]bool) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	parts := strings.Split(name, "_")
+	check := func(s string) bool { return satisfiedTag(s, tags) }
+	if n := len(parts); n >= 3 && knownOS[parts[n-2]] && knownArch[parts[n-1]] {
+		return check(parts[n-2]) && check(parts[n-1])
+	} else if n >= 2 && (knownOS[parts[n-1]] || knownArch[parts[n-1]]) {
+		return check(parts[n-1])
+	}
+	return true
+}
+
+// matchConstraints evaluates a file's //go:build (or // +build) lines.
+func matchConstraints(f *ast.File, tags map[string]bool) bool {
+	for _, g := range f.Comments {
+		// Constraints must precede the package clause.
+		if g.Pos() >= f.Package {
+			break
+		}
+		for _, c := range g.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(func(tag string) bool { return satisfiedTag(tag, tags) }) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+func satisfiedTag(tag string, tags map[string]bool) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	case "cgo":
+		return false
+	}
+	if tags[tag] {
+		return true
+	}
+	// Release tags: go1.1 through the running toolchain are satisfied.
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		var n int
+		if _, err := fmt.Sscanf(rest, "%d", &n); err == nil {
+			var cur int
+			if _, err := fmt.Sscanf(runtime.Version(), "go1.%d", &cur); err == nil {
+				return n <= cur
+			}
+			return true
+		}
+	}
+	return false
+}

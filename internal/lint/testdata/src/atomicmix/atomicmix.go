@@ -1,0 +1,52 @@
+// Package atomicmix is a known-bad fixture for the atomic-mix analyzer:
+// fields accessed through sync/atomic helpers that are also read or
+// written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // accessed atomically AND plainly: every plain site flagged
+	safe int64 // only ever atomic: clean
+	m    int64 // only ever plain: clean
+}
+
+var global int64 // package-level atomic-then-plain: flagged
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.safe, 1)
+	atomic.AddInt64(&global, 1)
+}
+
+func (c *counter) read() int64 {
+	if atomic.LoadInt64(&c.safe) > 0 {
+		return atomic.LoadInt64(&c.n)
+	}
+	return c.n // want: plain read of atomic field
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want: plain write of atomic field
+	atomic.StoreInt64(&c.safe, 0)
+	c.m = 0 // fine: m is never touched atomically
+}
+
+func drain() int64 {
+	v := global // want: plain read of atomic package-level var
+	return v
+}
+
+// typedAtomics must stay clean: methods of the typed atomics take &x as
+// a stored value, not as an atomic location.
+type node struct{ next *node }
+
+type stack struct {
+	head atomic.Pointer[node]
+	stub node
+}
+
+func (s *stack) init() {
+	s.head.Store(&s.stub) // fine: &s.stub is a value, not a location
+	s.stub.next = nil     // fine: stub itself is not an atomic location
+}

@@ -1,0 +1,89 @@
+// Package ddfonce is a known-bad fixture for the ddf-once analyzer: two
+// Put/PutVia calls on one DDF along a single control path.
+package ddfonce
+
+import "errors"
+
+var errAlreadyPut = errors.New("second put")
+
+// DDF mirrors internal/hc.DDF's single-assignment API surface.
+type DDF struct {
+	full bool
+	val  any
+}
+
+func (d *DDF) Put(v any) {
+	if d.full {
+		panic(errAlreadyPut)
+	}
+	d.full, d.val = true, v
+}
+
+func (d *DDF) PutVia(rel any, v any) error {
+	if d.full {
+		return errAlreadyPut
+	}
+	d.full, d.val = true, v
+	return nil
+}
+
+func (d *DDF) TryPut(v any) error { return d.PutVia(nil, v) }
+
+type holder struct{ ddf *DDF }
+
+func doublePut(d *DDF) {
+	d.Put(1)
+	d.Put(2) // want: second Put on one path
+}
+
+func doublePutVia(h *holder) {
+	h.ddf.PutVia(nil, 1)
+	_ = h.ddf.PutVia(nil, 2) // want: second PutVia on one path
+}
+
+func putThenBranchPut(d *DDF, cond bool) {
+	d.Put(1)
+	if cond {
+		d.Put(2) // want: the path into the branch puts twice
+	}
+}
+
+func branchedPuts(d *DDF, cond bool) {
+	if cond {
+		d.Put(1)
+	} else {
+		d.Put(2) // fine: exclusive branches
+	}
+}
+
+func switchPuts(d *DDF, k int) {
+	switch k {
+	case 0:
+		d.Put(1)
+	case 1:
+		d.Put(2) // fine: exclusive cases
+	}
+}
+
+func earlyReturnPut(d *DDF, cond bool) {
+	if cond {
+		d.Put(1)
+		return
+	}
+	d.Put(2) // fine: the branch above returned
+}
+
+func distinctDDFs(a, b *DDF) {
+	a.Put(1)
+	b.Put(2) // fine: different DDFs
+}
+
+func tryPutTwice(d *DDF) {
+	_ = d.TryPut(1)
+	_ = d.TryPut(2) // fine: TryPut is the sanctioned racing API
+}
+
+func closurePut(d *DDF) func() {
+	d.Put(1)
+	return func() { d.Put(2) } // fine: different function body (checked on its own)
+}

@@ -1,0 +1,77 @@
+// Package hotpath is a known-bad fixture for the hotpath-alloc
+// analyzer: //hclint:hotpath functions that allocate.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	slots []int64
+	pos   int64
+}
+
+type event struct {
+	ts int64
+	a  int64
+}
+
+//hclint:hotpath
+func (r *ring) emit(v int64) {
+	i := r.pos
+	r.pos++
+	r.slots[i&int64(len(r.slots)-1)] = v // fine: index store, no allocation
+}
+
+//hclint:hotpath
+func (r *ring) emitEvent(ts, a int64) event {
+	return event{ts: ts, a: a} // want: composite literal
+}
+
+//hclint:hotpath
+func (r *ring) push(v int64) {
+	r.slots = append(r.slots, v) // want: append growth
+}
+
+//hclint:hotpath
+func (r *ring) deferred(v int64) {
+	f := func() { r.pos = v } // want: closure
+	f()
+}
+
+//hclint:hotpath
+func (r *ring) debug(v int64) {
+	fmt.Println("emit", v) // want: fmt call (and boxing of its args)
+}
+
+//hclint:hotpath
+func (r *ring) alloc() {
+	buf := make([]int64, 8) // want: make
+	_ = buf
+	p := new(event) // want: new
+	_ = p
+}
+
+func sink(v any) { _ = v }
+
+//hclint:hotpath
+func (r *ring) box(v int64) {
+	sink(v) // want: interface boxing of an int64
+}
+
+//hclint:hotpath
+func (r *ring) noBox(p *event) {
+	sink(p) // fine: pointers are interface-word shaped, no allocation
+}
+
+// slowPath is unannotated: anything goes.
+func (r *ring) slowPath() {
+	r.slots = append(r.slots, 0)
+	fmt.Println(event{})
+}
+
+//hclint:hotpath
+func (r *ring) callsSlow(v int64) {
+	if v < 0 {
+		r.slowPath() // fine: the cost is explicit at the call boundary
+	}
+	r.emit(v)
+}

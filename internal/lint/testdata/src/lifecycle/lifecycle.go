@@ -1,0 +1,78 @@
+// Package lifecycle is a known-bad fixture for the lifecycle analyzer:
+// comm-task state written outside traceState, and commTask uses after a
+// retiring call.
+package lifecycle
+
+import "sync/atomic"
+
+type commTask struct {
+	state atomic.Int32
+	id    int64
+	buf   []byte
+}
+
+func (t *commTask) setState(s int32) { t.state.Store(s) } // fine: the designated setter
+
+func (t *commTask) State() int32 { return t.state.Load() }
+
+type node struct {
+	free []*commTask
+}
+
+// traceState is the only sanctioned mutation path.
+func (n *node) traceState(t *commTask, s int32) {
+	t.setState(s)
+}
+
+func (n *node) retire(t *commTask) {
+	t.buf = nil
+	n.traceState(t, 0)
+	n.free = append(n.free, t)
+}
+
+// completeLocal retires its parameter, so it is transitively retiring.
+func (n *node) completeLocal(t *commTask, v int64) {
+	id := t.id // fine: read before retire
+	n.retire(t)
+	_ = id
+}
+
+func (n *node) sneakySet(t *commTask) {
+	t.setState(3) // want: setState outside traceState
+}
+
+func (n *node) sneakyStore(t *commTask) {
+	t.state.Store(2) // want: direct state store outside setState
+}
+
+func (n *node) useAfterRetire(t *commTask) int64 {
+	n.retire(t)
+	return t.id // want: use after retire
+}
+
+func (n *node) useAfterTransitiveRetire(t *commTask) {
+	n.completeLocal(t, 1)
+	t.buf = nil // want: use after transitive retire
+}
+
+func (n *node) savedBeforeRetire(t *commTask) int64 {
+	id := t.id
+	n.retire(t)
+	return id // fine: the field was saved before the retire
+}
+
+func (n *node) reassignedAfterRetire(t *commTask) int64 {
+	n.retire(t)
+	t = &commTask{}
+	return t.id // fine: t was reassigned to a fresh task
+}
+
+func (n *node) branchRetire(ts []*commTask) {
+	for _, t := range ts {
+		if t.State() == 4 {
+			n.retire(t)
+			continue
+		}
+		n.free = append(n.free, t) // fine: the retiring branch continued
+	}
+}

@@ -1,0 +1,65 @@
+// Package testgoroutine is a known-bad fixture for the test-goroutine
+// analyzer: t.Fatal-family calls made off the test goroutine.
+package testgoroutine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFatalInGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if 1+1 != 2 {
+			t.Fatal("math broke") // want: Fatal off the test goroutine
+		}
+	}()
+	wg.Wait()
+}
+
+func TestFatalfNested(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		check := func(ok bool) {
+			if !ok {
+				t.Fatalf("check failed") // want: Fatalf in a nested closure, still off-goroutine
+			}
+		}
+		check(true)
+	}()
+	<-done
+}
+
+func TestSkipInGoroutine(t *testing.T) {
+	go t.SkipNow() // want: direct go statement
+}
+
+func TestHelperWithTB(t *testing.T) {
+	var tb testing.TB = t
+	go func() {
+		tb.FailNow() // want: TB interface, same hazard
+	}()
+}
+
+func TestErrorInGoroutineIsFine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if 1+1 != 2 {
+			t.Error("math broke") // fine: Error does not FailNow
+		}
+	}()
+	<-done
+	if t.Failed() {
+		t.Fatal("impossible") // fine: on the test goroutine
+	}
+}
+
+func BenchmarkFatalInGoroutine(b *testing.B) {
+	go func() {
+		b.Fatal("nope") // want: *testing.B too
+	}()
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TestGoroutine reports t.Fatal-family calls made from goroutines in
+// _test.go files. testing.T.FailNow (which Fatal, Fatalf, FailNow, Skip,
+// Skipf and SkipNow all reach) stops the calling goroutine with
+// runtime.Goexit — from a spawned goroutine that does NOT stop the test,
+// so the failure is reported late, attributed to the wrong test, or lost
+// entirely when the test finishes first. The runtime's chaos suites lean
+// on goroutine-heavy tests, which makes this silent-loss mode a real
+// hazard. Use t.Error/t.Errorf and return, or send the failure through a
+// channel and Fatal on the test goroutine.
+var TestGoroutine = &Analyzer{
+	Name: "test-goroutine",
+	Doc:  "t.Fatal/FailNow/Skip must not run off the test goroutine",
+	Run:  runTestGoroutine,
+}
+
+var fatalMethods = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+func runTestGoroutine(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// go t.Fatal(...) directly.
+			out = append(out, tgCheckCall(p, g.Call)...)
+			// go func() { ... }() — scan the body, including nested
+			// closures (they still run off the test goroutine).
+			if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						out = append(out, tgCheckCall(p, call)...)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func tgCheckCall(p *Package, call *ast.CallExpr) []Finding {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !fatalMethods[sel.Sel.Name] {
+		return nil
+	}
+	if !isTestingVal(exprType(p, sel.X)) {
+		return nil
+	}
+	return []Finding{p.findingf("test-goroutine", call.Pos(),
+		"%s.%s inside a goroutine: FailNow/SkipNow only stop the calling goroutine, so the test keeps running and the failure can be lost — use %s.Error and return (or report through a channel)",
+		types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X))}
+}
+
+// isTestingVal reports whether t is *testing.T, *testing.B, *testing.F,
+// or the testing.TB interface.
+func isTestingVal(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+		return false
+	}
+	switch obj.Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hcmpi/internal/invariant"
 	"hcmpi/internal/trace"
 )
 
@@ -121,6 +122,9 @@ func (c *Comm) unpost(r *Request) bool {
 	defer c.mu.Unlock()
 	for i, pr := range c.posted {
 		if pr == r {
+			// Winning the commit point implies exclusive completion rights:
+			// a request still in the posted queue cannot already be done.
+			invariant.Assert(!r.isDone(), "mpi: unpost won a request that is already complete")
 			c.posted = append(c.posted[:i], c.posted[i+1:]...)
 			return true
 		}
@@ -389,6 +393,7 @@ func (c *Comm) deliver(m inMsg) {
 	c.mu.Lock()
 	for i, req := range c.posted {
 		if match(req.src, req.tag, m.src, m.tag) {
+			invariant.Assert(!req.isDone(), "mpi: delivery matched a posted receive that is already complete")
 			c.posted = append(c.posted[:i], c.posted[i+1:]...)
 			c.arrived.Broadcast()
 			c.mu.Unlock()

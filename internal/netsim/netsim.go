@@ -169,7 +169,12 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 // SendEx is Send with a drop notification: when the fault plane discards
 // the message (probabilistic drop, partition window, or crashed rank),
 // dropped — if non-nil — fires instead of deliver. Exactly one of the two
-// callbacks runs per message (deliver twice under duplication).
+// callbacks runs per message (deliver twice under duplication). The
+// instant-network case is the hot path — zero latency, zero bandwidth,
+// no fault plane — and delivers synchronously without allocating; the
+// modeled-link case pays for its message record in enqueue.
+//
+//hclint:hotpath
 func (nw *Network) SendEx(src, dst, size int, deliver, dropped func()) {
 	nw.msgs.Add(1)
 	nw.bytes.Add(int64(size))
@@ -177,6 +182,12 @@ func (nw *Network) SendEx(src, dst, size int, deliver, dropped func()) {
 		deliver()
 		return
 	}
+	nw.enqueue(src, dst, size, deliver, dropped)
+}
+
+// enqueue is SendEx's slow path: queue the message on its (src,dst) link
+// for the pump goroutine to deliver under the pipe model.
+func (nw *Network) enqueue(src, dst, size int, deliver, dropped func()) {
 	l := nw.getLink(src, dst)
 	l.mu.Lock()
 	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), deliver: deliver, dropped: dropped})

@@ -300,6 +300,8 @@ type Ring struct {
 }
 
 // Emit records one event. Nil-safe; never blocks; never allocates.
+//
+//hclint:hotpath
 func (r *Ring) Emit(kind EventKind, a, b int64) {
 	if r == nil {
 		return
