@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo
+.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo bench bench-smoke
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
@@ -35,6 +35,24 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# Microbenchmarks with allocation stats. Saves a JSON snapshot and, if a
+# committed baseline exists, prints the per-benchmark delta. Narrow the
+# run with BENCH='AsyncFinish|CommTask'.
+BENCH ?= .
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count=1 . | tee /tmp/hcmpi-bench.txt
+	$(GO) run ./scripts/benchdiff save BENCH_latest.json /tmp/hcmpi-bench.txt
+	@if [ -f BENCH_baseline.json ]; then \
+		$(GO) run ./scripts/benchdiff diff BENCH_baseline.json BENCH_latest.json; \
+	fi
+
+# CI smoke: every benchmark at a fixed tiny iteration count. Catches
+# benchmarks that panic or deadlock without asserting on timing (shared
+# runners are too noisy for that); allocation regressions are pinned by
+# the AllocsPerRun tests instead.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=100x -count=1 .
 
 # Produce a traced UTS timeline and validate the exporter's invariants
 # (monotonic timestamps per track, balanced slices) with tracecheck.

@@ -1,0 +1,139 @@
+// Package bufpool is a size-classed []byte pool shared by the message
+// layers: mpi draws send-payload buffers from it and the receive path
+// recycles them once the payload has been copied into the user's
+// buffer. Pooling payload staging is what lets an Isend/Irecv round
+// trip avoid per-message garbage — the paper's message-driven model
+// (one comm task per message) makes per-message allocation a first-order
+// cost at high message rates.
+//
+// Buffers are grouped into power-of-four-ish size classes (64 B … 64
+// KiB); requests above the largest class fall through to the allocator,
+// as does everything on a nil *Pool (so the pool is strictly optional).
+// Each class retains a bounded number of buffers — the bound caps
+// retained memory, never correctness: a full class drops Puts to the
+// GC, an empty one allocates.
+package bufpool
+
+import (
+	"sync"
+
+	"hcmpi/internal/trace"
+)
+
+// classSizes are the buffer capacities the pool retains. A Get(n) is
+// served from the smallest class that fits n.
+var classSizes = [...]int{64, 256, 1024, 4096, 16384, 65536}
+
+// maxPerClass bounds each class's free list (worst case ~5.4 MiB per
+// pool with every class full, dominated by the 64 KiB class).
+const maxPerClass = 64
+
+type class struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// Pool is one size-classed buffer pool. The zero value is NOT ready;
+// use New. A nil *Pool is valid and always allocates.
+type Pool struct {
+	classes [len(classSizes)]class
+
+	// Nil-safe counters; wired by SetMetrics.
+	hits   *trace.Counter // Gets served from a free list
+	misses *trace.Counter // Gets that fell through to the allocator
+	bytes  *trace.Counter // total bytes served from free lists
+}
+
+// New creates an empty pool.
+func New() *Pool { return &Pool{} }
+
+// SetMetrics registers the pool's counters (buf_pool_hit, buf_pool_miss,
+// buf_pool_bytes) on m. Call before traffic; nil-safe on both sides.
+func (p *Pool) SetMetrics(m *trace.Metrics) {
+	if p == nil {
+		return
+	}
+	p.hits = m.Counter("buf_pool_hit")
+	p.misses = m.Counter("buf_pool_miss")
+	p.bytes = m.Counter("buf_pool_bytes")
+}
+
+// classFor returns the index of the smallest class with capacity >= n,
+// or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer of length n. The buffer's capacity is the class
+// size, so Put can re-class it without bookkeeping.
+//
+//hclint:hotpath
+func (p *Pool) Get(n int) []byte {
+	if p == nil {
+		return alloc(n, n)
+	}
+	ci := classFor(n)
+	if ci < 0 {
+		p.misses.Inc()
+		return alloc(n, n)
+	}
+	c := &p.classes[ci]
+	c.mu.Lock()
+	if ln := len(c.bufs); ln > 0 {
+		b := c.bufs[ln-1]
+		c.bufs[ln-1] = nil
+		c.bufs = c.bufs[:ln-1]
+		c.mu.Unlock()
+		p.hits.Inc()
+		p.bytes.Add(int64(n))
+		return b[:n]
+	}
+	c.mu.Unlock()
+	p.misses.Inc()
+	return allocClass(n, ci)
+}
+
+// Put recycles a buffer obtained from Get. Foreign buffers are accepted
+// too: they land in the largest class their capacity covers (and are
+// dropped if smaller than the smallest class). The caller must not
+// retain any reference to b.
+func (p *Pool) Put(b []byte) {
+	if p == nil || b == nil {
+		return
+	}
+	cp := cap(b)
+	ci := -1
+	for i, s := range classSizes {
+		if cp >= s {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	c := &p.classes[ci]
+	c.mu.Lock()
+	if len(c.bufs) < maxPerClass {
+		c.bufs = append(c.bufs, b[:cap(b)])
+	}
+	c.mu.Unlock()
+}
+
+// PutPooled recycles b only when pooled is set — convenience for
+// callers that track buffer provenance with a flag alongside the slice.
+func (p *Pool) PutPooled(b []byte, pooled bool) {
+	if pooled {
+		p.Put(b)
+	}
+}
+
+// alloc is the fall-through allocation path.
+func alloc(n, capacity int) []byte { return make([]byte, n, capacity) }
+
+// allocClass allocates a class-capacity buffer of length n.
+func allocClass(n, ci int) []byte { return make([]byte, n, classSizes[ci]) }

@@ -1,0 +1,134 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+
+	"hcmpi/internal/trace"
+)
+
+func TestGetSizing(t *testing.T) {
+	p := New()
+	for _, n := range []int{0, 1, 64, 65, 1024, 65536} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		if ci := classFor(n); ci >= 0 && cap(b) != classSizes[ci] && n > 0 {
+			t.Fatalf("Get(%d) cap = %d want class size %d", n, cap(b), classSizes[ci])
+		}
+	}
+	// Oversized requests fall through to the allocator with exact capacity.
+	big := p.Get(1 << 20)
+	if len(big) != 1<<20 {
+		t.Fatalf("oversized Get len = %d", len(big))
+	}
+}
+
+func TestPutRecycles(t *testing.T) {
+	p := New()
+	m := trace.NewMetrics()
+	p.SetMetrics(m)
+	b := p.Get(100) // class 256
+	p.Put(b)
+	b2 := p.Get(200) // same class: must be the recycled buffer
+	if &b[0] != &b2[0] {
+		t.Fatal("Get after Put did not return the recycled buffer")
+	}
+	if hits := m.Counter("buf_pool_hit").Load(); hits != 1 {
+		t.Fatalf("buf_pool_hit = %d want 1", hits)
+	}
+	if served := m.Counter("buf_pool_bytes").Load(); served != 200 {
+		t.Fatalf("buf_pool_bytes = %d want 200", served)
+	}
+}
+
+func TestPutBounded(t *testing.T) {
+	p := New()
+	bufs := make([][]byte, maxPerClass+8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if n := len(p.classes[0].bufs); n != maxPerClass {
+		t.Fatalf("class 0 holds %d buffers, want cap %d", n, maxPerClass)
+	}
+}
+
+func TestPutForeignAndTiny(t *testing.T) {
+	p := New()
+	p.Put(make([]byte, 0, 32)) // below smallest class: dropped
+	if n := len(p.classes[0].bufs); n != 0 {
+		t.Fatalf("tiny buffer retained in class 0 (%d)", n)
+	}
+	// A 300-cap foreign buffer lands in the largest class it covers (256).
+	p.Put(make([]byte, 0, 300))
+	if n := len(p.classes[1].bufs); n != 1 {
+		t.Fatalf("foreign buffer not re-classed (class1 len %d)", n)
+	}
+	b := p.Get(256)
+	if cap(b) != 300 {
+		t.Fatalf("re-classed buffer cap = %d want 300", cap(b))
+	}
+}
+
+func TestPutPooledFlag(t *testing.T) {
+	p := New()
+	p.PutPooled(make([]byte, 64), false)
+	if n := len(p.classes[0].bufs); n != 0 {
+		t.Fatal("PutPooled(false) must not recycle")
+	}
+	p.PutPooled(make([]byte, 64), true)
+	if n := len(p.classes[0].bufs); n != 1 {
+		t.Fatal("PutPooled(true) must recycle")
+	}
+}
+
+func TestNilPoolSafe(t *testing.T) {
+	var p *Pool
+	b := p.Get(128)
+	if len(b) != 128 {
+		t.Fatalf("nil pool Get len = %d", len(b))
+	}
+	p.Put(b)
+	p.PutPooled(b, true)
+	p.SetMetrics(nil)
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := 1 + (g*131+i*17)%65536
+				b := p.Get(n)
+				if len(b) != n {
+					t.Errorf("Get(%d) len %d", n, len(b))
+					return
+				}
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestGetPutAllocFree pins the warm-pool Get/Put cycle at zero
+// allocations (metrics wired, since that is how mpi runs it).
+func TestGetPutAllocFree(t *testing.T) {
+	p := New()
+	p.SetMetrics(trace.NewMetrics())
+	p.Put(p.Get(512)) // warm one class-1024 buffer
+	if avg := testing.AllocsPerRun(500, func() {
+		b := p.Get(512)
+		p.Put(b)
+	}); avg != 0 {
+		t.Errorf("warm Get/Put allocated %.2f per run, want 0", avg)
+	}
+}

@@ -125,6 +125,55 @@ func (d *Deque[T]) Steal() (*T, bool) {
 	}
 }
 
+// maxStealBatch caps how many elements one StealBatch call may move. The
+// cap bounds the latency of a single steal sweep and keeps a thief from
+// emptying a very deep victim in one visit (other thieves deserve a
+// share too — the classic steal-half fairness argument).
+const maxStealBatch = 16
+
+// StealBatch steals up to half of d's elements in one sweep, returning
+// the first stolen element and pushing the remainder onto the bottom of
+// into — which must be the calling thief's OWN deque (StealBatch invokes
+// into.Push, an owner-only operation). moved counts every element taken,
+// including the returned one.
+//
+// Each element is claimed with the standard one-element Steal CAS, which
+// re-reads top and bottom per element. A single CAS covering a range of
+// top tickets would be unsound here: the owner's Pop takes non-last
+// elements with a plain read (no CAS) after lowering bottom, so a range
+// claim could double-consume a slot the owner already took. The sweep
+// keeps per-element linearizability and amortizes only the victim
+// selection and the thief's cache misses, which is where the cost is.
+//
+//hclint:hotpath
+func (d *Deque[T]) StealBatch(into *Deque[T]) (first *T, moved int, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, 0, false
+	}
+	// Steal half, rounded up, of the snapshot size. The per-element CAS
+	// re-validates against the live indices, so a stale (too large)
+	// snapshot only means the sweep stops early.
+	n := (b - t + 1) / 2
+	if n > maxStealBatch {
+		n = maxStealBatch
+	}
+	for int64(moved) < n {
+		v, stole := d.Steal()
+		if !stole {
+			break
+		}
+		if moved == 0 {
+			first = v
+		} else {
+			into.Push(v)
+		}
+		moved++
+	}
+	return first, moved, moved > 0
+}
+
 // Size returns a linearizable-enough estimate of the number of elements.
 func (d *Deque[T]) Size() int {
 	b := d.bottom.Load()

@@ -54,3 +54,54 @@ func (s *Stack[T]) Pop() (*T, bool) {
 
 // Size returns the approximate number of elements.
 func (s *Stack[T]) Size() int { return int(s.size.Load()) }
+
+// FreeList is a bounded single-owner free list: a plain array-backed
+// stack with no synchronization at all. It exists because the Treiber
+// Stack above buys its ABA-freedom by allocating a fresh node per Push —
+// correct for the cross-goroutine comm-task free-list, but useless for
+// zero-allocation frame pooling. When both Get and Put happen on the
+// owning goroutine (an hc worker recycling its own task frames), no
+// atomics are needed and the steady state allocates nothing.
+//
+// A full FreeList drops Puts (the frame falls back to the GC) and an
+// empty one fails Gets (the caller allocates fresh), so the bound only
+// caps retained memory, never correctness.
+type FreeList[T any] struct {
+	items []*T
+}
+
+// NewFreeList returns a free list retaining at most capacity items.
+func NewFreeList[T any](capacity int) *FreeList[T] {
+	return &FreeList[T]{items: make([]*T, 0, capacity)}
+}
+
+// Get pops a recycled item, or returns false if the list is empty.
+//
+//hclint:hotpath
+func (f *FreeList[T]) Get() (*T, bool) {
+	n := len(f.items)
+	if n == 0 {
+		return nil, false
+	}
+	v := f.items[n-1]
+	f.items[n-1] = nil
+	f.items = f.items[:n-1]
+	return v, true
+}
+
+// Put recycles an item; items beyond capacity are dropped to the GC.
+// The reslice below never exceeds the backing array's capacity, so it
+// never allocates (append would trip the hotpath analyzer even so).
+//
+//hclint:hotpath
+func (f *FreeList[T]) Put(v *T) {
+	n := len(f.items)
+	if n == cap(f.items) {
+		return
+	}
+	f.items = f.items[:n+1]
+	f.items[n] = v
+}
+
+// Len returns the number of retained items.
+func (f *FreeList[T]) Len() int { return len(f.items) }

@@ -1,0 +1,391 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealBatchBasic(t *testing.T) {
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	vals := make([]int, 10)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	first, moved, ok := d.StealBatch(into)
+	if !ok {
+		t.Fatal("StealBatch on populated deque returned !ok")
+	}
+	// 10 elements visible: transfer (10+1)/2 = 5.
+	if moved != 5 {
+		t.Fatalf("moved = %d want 5", moved)
+	}
+	// The first (oldest) element is returned for immediate execution.
+	if *first != 0 {
+		t.Fatalf("first = %d want 0", *first)
+	}
+	if got := into.Size(); got != 4 {
+		t.Fatalf("thief deque size = %d want 4", got)
+	}
+	// The rest landed in the thief's deque; between first and the thief's
+	// stash every stolen element appears exactly once.
+	got := map[int]bool{*first: true}
+	for {
+		v, ok := into.Pop()
+		if !ok {
+			break
+		}
+		if got[*v] {
+			t.Fatalf("element %d transferred twice", *v)
+		}
+		got[*v] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !got[i] {
+			t.Fatalf("element %d lost in batch", i)
+		}
+	}
+	// Victim keeps the newer half.
+	if s := d.Size(); s != 5 {
+		t.Fatalf("victim size = %d want 5", s)
+	}
+}
+
+func TestStealBatchCap(t *testing.T) {
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	_, moved, ok := d.StealBatch(into)
+	if !ok || moved != maxStealBatch {
+		t.Fatalf("moved = %d,%v want %d,true", moved, ok, maxStealBatch)
+	}
+}
+
+func TestStealBatchEmpty(t *testing.T) {
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	if first, moved, ok := d.StealBatch(into); ok || moved != 0 || first != nil {
+		t.Fatalf("StealBatch on empty = %v,%d,%v", first, moved, ok)
+	}
+}
+
+func TestStealBatchSingle(t *testing.T) {
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	x := 42
+	d.Push(&x)
+	first, moved, ok := d.StealBatch(into)
+	if !ok || moved != 1 || *first != 42 {
+		t.Fatalf("StealBatch singleton = %v,%d,%v", first, moved, ok)
+	}
+	if into.Size() != 0 {
+		t.Fatal("singleton batch should not touch the thief deque")
+	}
+}
+
+// TestStealBatchModel checks the sequential semantics of every
+// {Push, Pop, StealBatch} sequence up to a small depth against a
+// reference double-ended list: a brute-force model check of the state
+// space where the ring wraps, empties, and refills around the
+// batch-claim boundary.
+func TestStealBatchModel(t *testing.T) {
+	const depth = 7
+	var vals [depth]int
+	var run func(prefix []int)
+	run = func(prefix []int) {
+		if len(prefix) == depth {
+			return
+		}
+		for op := 0; op < 3; op++ {
+			seq := append(append([]int(nil), prefix...), op)
+			replay(t, seq, &vals)
+			run(seq)
+		}
+	}
+	run(nil)
+}
+
+// replay executes one op sequence against both the deque and the model.
+func replay(t *testing.T, seq []int, vals *[7]int) {
+	t.Helper()
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	var model []int // model[0] is top (oldest), model[len-1] is bottom
+	next := 0
+	for _, op := range seq {
+		switch op {
+		case 0: // Push
+			vals[next%len(vals)] = next
+			d.Push(&vals[next%len(vals)])
+			model = append(model, next)
+			next++
+		case 1: // Pop
+			v, ok := d.Pop()
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("seq %v: Pop on empty returned %d", seq, *v)
+				}
+				continue
+			}
+			want := model[len(model)-1]
+			model = model[:len(model)-1]
+			if !ok || *v != want {
+				t.Fatalf("seq %v: Pop = %v,%v want %d", seq, v, ok, want)
+			}
+		case 2: // StealBatch
+			first, moved, ok := d.StealBatch(into)
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("seq %v: StealBatch on empty moved %d", seq, moved)
+				}
+				continue
+			}
+			want := (len(model) + 1) / 2
+			if want > maxStealBatch {
+				want = maxStealBatch
+			}
+			if !ok || moved != want {
+				t.Fatalf("seq %v: StealBatch moved %d want %d", seq, moved, want)
+			}
+			if *first != model[0] {
+				t.Fatalf("seq %v: StealBatch first = %d want %d", seq, *first, model[0])
+			}
+			// Thief receives model[1:moved] (drain its deque to verify).
+			stolen := map[int]bool{}
+			for {
+				v, ok := into.Pop()
+				if !ok {
+					break
+				}
+				stolen[*v] = true
+			}
+			for _, m := range model[1:moved] {
+				if !stolen[m] {
+					t.Fatalf("seq %v: stolen element %d missing from thief", seq, m)
+				}
+			}
+			if len(stolen) != moved-1 {
+				t.Fatalf("seq %v: thief holds %d elements want %d", seq, len(stolen), moved-1)
+			}
+			model = model[moved:]
+		}
+	}
+	// Drain and compare the remainder.
+	for i := len(model) - 1; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || *v != model[i] {
+			t.Fatalf("seq %v: final drain Pop = %v,%v want %d", seq, v, ok, model[i])
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatalf("seq %v: deque should be empty after drain", seq)
+	}
+}
+
+// TestStealBatchNoLossNoDup is the concurrent safety property: under
+// owner push/pop and multiple batch-stealing thieves, every element is
+// consumed exactly once. Run under -race this also exercises the
+// publication ordering of the batch's per-element CAS claims.
+func TestStealBatchNoLossNoDup(t *testing.T) {
+	const n = 50_000
+	const thieves = 4
+	d := NewDeque[int]()
+	vals := make([]int, n)
+	seen := make([]atomic.Int32, n)
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := NewDeque[int]()
+			for consumed.Load() < n {
+				first, _, ok := d.StealBatch(mine)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				seen[*first].Add(1)
+				consumed.Add(1)
+				for {
+					v, ok := mine.Pop()
+					if !ok {
+						break
+					}
+					seen[*v].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.Push(&vals[i])
+		if i%5 == 0 {
+			if v, ok := d.Pop(); ok {
+				seen[*v].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < n {
+		if v, ok := d.Pop(); ok {
+			seen[*v].Add(1)
+			consumed.Add(1)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+}
+
+// TestStealBatchDuringGrow interleaves batch steals with pushes that
+// force ring growth, the regime where a stale ring snapshot could hand
+// a thief an overwritten slot.
+func TestStealBatchDuringGrow(t *testing.T) {
+	const rounds = 200
+	const batch = 512 // crosses several growth doublings from the 64-slot seed
+	for r := 0; r < rounds; r++ {
+		d := NewDeque[int]()
+		vals := make([]int, batch)
+		var consumed atomic.Int64
+		seen := make([]atomic.Int32, batch)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			mine := NewDeque[int]()
+			for consumed.Load() < batch {
+				first, _, ok := d.StealBatch(mine)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				seen[*first].Add(1)
+				consumed.Add(1)
+				for {
+					v, ok := mine.Pop()
+					if !ok {
+						break
+					}
+					seen[*v].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+		for i := 0; i < batch; i++ {
+			vals[i] = i
+			d.Push(&vals[i])
+		}
+		for consumed.Load() < batch {
+			if v, ok := d.Pop(); ok {
+				seen[*v].Add(1)
+				consumed.Add(1)
+			} else {
+				runtime.Gosched()
+			}
+		}
+		<-done
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("round %d: element %d consumed %d times", r, i, c)
+			}
+		}
+	}
+}
+
+func TestFreeListLIFO(t *testing.T) {
+	f := NewFreeList[int](4)
+	if _, ok := f.Get(); ok {
+		t.Fatal("Get on empty free list returned ok")
+	}
+	a, b := 1, 2
+	f.Put(&a)
+	f.Put(&b)
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d want 2", f.Len())
+	}
+	if v, ok := f.Get(); !ok || v != &b {
+		t.Fatal("Get should return the most recently Put pointer")
+	}
+	if v, ok := f.Get(); !ok || v != &a {
+		t.Fatal("Get should return remaining pointer")
+	}
+	if _, ok := f.Get(); ok {
+		t.Fatal("Get on drained free list returned ok")
+	}
+}
+
+func TestFreeListBounded(t *testing.T) {
+	f := NewFreeList[int](2)
+	xs := []int{1, 2, 3}
+	for i := range xs {
+		f.Put(&xs[i]) // third Put must be dropped, not grow the list
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d want 2 (capacity bound)", f.Len())
+	}
+}
+
+// TestDequeOpsAllocFree pins the hot deque operations at zero
+// allocations per op (the //hclint:hotpath contract, enforced
+// dynamically).
+func TestDequeOpsAllocFree(t *testing.T) {
+	d := NewDeque[int]()
+	into := NewDeque[int]()
+	vals := make([]int, 64)
+	// Pre-grow the ring so the measured window never hits the grow path.
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for range vals {
+		d.Pop()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := range vals {
+			d.Push(&vals[i])
+		}
+		for i := 0; i < 16; i++ {
+			d.Steal()
+		}
+		d.StealBatch(into)
+		for {
+			if _, ok := into.Pop(); !ok {
+				break
+			}
+		}
+		for {
+			if _, ok := d.Pop(); !ok {
+				break
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("deque ops allocated %.2f per run, want 0", avg)
+	}
+
+	f := NewFreeList[int](8)
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := range vals[:8] {
+			f.Put(&vals[i])
+		}
+		for {
+			if _, ok := f.Get(); !ok {
+				break
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("free list ops allocated %.2f per run, want 0", avg)
+	}
+}

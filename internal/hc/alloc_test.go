@@ -1,0 +1,34 @@
+package hc
+
+import "testing"
+
+// TestAsyncSpawnAllocFree pins the steady-state spawn path. Once the
+// per-worker frame free lists are warm, spawning a child task must not
+// allocate: the frame comes from the pool and the non-capturing task
+// body is a static func value. The one allocation permitted per
+// measured run is the Finish object itself — finish scopes are
+// unpooled by design (they are rare relative to tasks and their
+// lifetime crosses workers).
+func TestAsyncSpawnAllocFree(t *testing.T) {
+	rt := New(1)
+	defer rt.Shutdown()
+	rt.Root(func(ctx *Ctx) {
+		// Warm the worker's frame free list well past the measured burst.
+		ctx.Finish(func(c *Ctx) {
+			for i := 0; i < 512; i++ {
+				c.Async(func(*Ctx) {})
+			}
+		})
+		avg := testing.AllocsPerRun(200, func() {
+			ctx.Finish(func(c *Ctx) {
+				for i := 0; i < 8; i++ {
+					c.Async(func(*Ctx) {})
+				}
+			})
+		})
+		// 8 spawns + 1 finish scope: only the finish may allocate.
+		if avg > 1 {
+			t.Errorf("Finish+8×Async allocated %.2f per run, want ≤ 1 (the Finish object)", avg)
+		}
+	})
+}

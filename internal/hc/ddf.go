@@ -45,13 +45,15 @@ type Releaser interface {
 	ReleaseTask(t Task)
 }
 
-// ReleaseTask implements Releaser for worker contexts.
+// ReleaseTask implements Releaser for worker contexts. The released
+// task is copied into a pooled frame from the releasing worker.
 func (c *Ctx) ReleaseTask(t Task) {
+	nt := c.w.newTask(t.fn, t.finish)
 	if c.w.detached {
-		c.w.rt.Submit(t)
+		c.w.rt.submitFrame(nt)
 		return
 	}
-	c.w.deque.Push(&t)
+	c.w.deque.Push(nt)
 	c.w.rt.Wake()
 }
 

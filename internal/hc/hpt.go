@@ -198,13 +198,13 @@ func (c *Ctx) AsyncAtPlace(p *Place, fn func(*Ctx)) {
 }
 
 // placeNext scans the worker's leaf-to-root place path for queued tasks.
-func (w *worker) placeNext() (Task, bool) {
+func (w *worker) placeNext() (*Task, bool) {
 	for p := w.place; p != nil; p = p.parent {
 		if t, ok := p.queue.Pop(); ok {
-			return *t, true
+			return t, true
 		}
 	}
-	return Task{}, false
+	return nil, false
 }
 
 // String renders the tree shape for diagnostics.

@@ -25,10 +25,21 @@ import (
 )
 
 // Task is one schedulable unit: a closure plus the finish scope it
-// belongs to.
+// belongs to. The execution context is embedded in the frame so that
+// running a task allocates nothing; frames spawned through a worker's
+// frame pool (pooled == true) are recycled onto the running worker's
+// free list after fn returns. A *Ctx is therefore only valid while its
+// task is executing — retaining one past the task's return was always
+// meaningless (the worker association dies with the task) and is now
+// also unsafe.
 type Task struct {
 	fn     func(*Ctx)
 	finish *Finish
+	ctx    Ctx
+	// pooled marks frames drawn from a worker frame pool. Frames built
+	// by clients (NewTask, Submit) stay unpooled and fall back to the
+	// GC: the runtime cannot know whether the client retains them.
+	pooled bool
 }
 
 // NewTask builds a task bound to a finish scope; used by runtime clients
@@ -47,6 +58,16 @@ type Runtime struct {
 	sleepers atomic.Int32
 	done     atomic.Bool
 
+	// wakeSeq is the wake ticket counter: every Wake bumps it, and idle
+	// workers re-arm their spin phase when they observe a new ticket, so
+	// freshly published work is picked up without a park/unpark round
+	// trip through idleCond.
+	wakeSeq atomic.Uint64
+
+	// helpers recycles the transient worker contexts that HelpUntil and
+	// AsyncBlocking spin up (deque + RNG + frame pool are worth keeping).
+	helpers *deque.Stack[worker]
+
 	wg sync.WaitGroup
 
 	// hpt, when non-nil, drives locality-aware spawning and stealing.
@@ -61,8 +82,10 @@ type Runtime struct {
 	steals        *trace.Counter
 	stealAttempts *trace.Counter
 	stealFails    *trace.Counter
+	stealBatched  *trace.Counter
 	tasksRun      *trace.Counter
 	tasksSpawned  *trace.Counter
+	parks         *trace.Counter
 }
 
 type worker struct {
@@ -81,6 +104,14 @@ type worker struct {
 	// ring is this worker's trace timeline; nil when tracing is
 	// disabled (the nil check inside Emit is the whole disabled path).
 	ring *trace.Ring
+	// frames recycles task frames. Single-owner by construction: a
+	// worker allocates spawn frames from its own list and the worker
+	// that RUNS a task frees the frame into its own list, both on the
+	// worker's goroutine — frames migrate between pools with steals.
+	frames *deque.FreeList[Task]
+	// parkTimer bounds a helper context's park (see parkBounded);
+	// lazily created, then reused across parks.
+	parkTimer *time.Timer
 }
 
 // Ctx is the execution context handed to every task: which worker is
@@ -138,15 +169,19 @@ func newRuntime(n int, extraStealSources ...*deque.Deque[Task]) *Runtime {
 	if n <= 0 {
 		panic(fmt.Sprintf("hc: worker count %d", n))
 	}
-	rt := &Runtime{inject: deque.NewStack[Task](), metrics: trace.NewMetrics()}
+	rt := &Runtime{inject: deque.NewStack[Task](), helpers: deque.NewStack[worker](), metrics: trace.NewMetrics()}
 	rt.steals = rt.metrics.Counter("hc_steals")
 	rt.stealAttempts = rt.metrics.Counter("hc_steal_attempts")
 	rt.stealFails = rt.metrics.Counter("hc_steal_fails")
+	rt.stealBatched = rt.metrics.Counter("hc_steal_batch")
 	rt.tasksRun = rt.metrics.Counter("hc_tasks_run")
 	rt.tasksSpawned = rt.metrics.Counter("hc_tasks_spawned")
+	rt.parks = rt.metrics.Counter("hc_parks")
 	rt.idleCond = sync.NewCond(&rt.idleMu)
 	for i := 0; i < n; i++ {
-		w := &worker{id: i, rt: rt, deque: deque.NewDeque[Task](), rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+		w := &worker{id: i, rt: rt, deque: deque.NewDeque[Task](),
+			rng:    rand.New(rand.NewSource(int64(i)*2654435761 + 1)),
+			frames: deque.NewFreeList[Task](frameListCap)}
 		rt.workers = append(rt.workers, w)
 		rt.stealSet = append(rt.stealSet, w.deque)
 	}
@@ -213,9 +248,19 @@ func (rt *Runtime) Submit(t Task) {
 	rt.Wake()
 }
 
+// submitFrame re-injects an already-heap-allocated frame (preserving
+// its pooled flag, so the eventual runner recycles it).
+func (rt *Runtime) submitFrame(t *Task) {
+	rt.inject.Push(t)
+	rt.Wake()
+}
+
 // Wake rouses parked workers; clients pushing to external steal-visible
-// deques must call it after each push.
+// deques must call it after each push. The ticket bump lands before the
+// sleeper check: a worker that is still in its spin phase sees the new
+// ticket and re-arms instead of parking.
 func (rt *Runtime) Wake() {
+	rt.wakeSeq.Add(1)
 	if rt.sleepers.Load() > 0 {
 		rt.idleMu.Lock()
 		rt.idleCond.Broadcast()
@@ -223,11 +268,55 @@ func (rt *Runtime) Wake() {
 	}
 }
 
+// Frame-pool and idle-protocol tuning (DESIGN.md §11; README
+// "Performance tuning").
+const (
+	// frameListCap bounds each worker's recycled-frame list (~48 B per
+	// frame, so about 12 KiB per worker at the cap).
+	frameListCap = 256
+	// spinSweeps is how many extra work-finding sweeps — with a Gosched
+	// between them — an idle worker makes before parking on idleCond.
+	spinSweeps = 4
+	// helperParkMin/Max bound a helper context's timed park: helpers
+	// wait on predicates whose triggers are not guaranteed to Wake the
+	// pool, so their parks are bounded and back off exponentially.
+	helperParkMin = 10 * time.Microsecond
+	helperParkMax = time.Millisecond
+)
+
+// newTask builds a spawn frame from the worker's pool. Owner-only (the
+// calling goroutine must be w's).
+//
+//hclint:hotpath
+func (w *worker) newTask(fn func(*Ctx), f *Finish) *Task {
+	t, ok := w.frames.Get()
+	if !ok {
+		t = newFrame()
+	}
+	t.fn = fn
+	t.finish = f
+	return t
+}
+
+// newFrame is newTask's allocation slow path.
+func newFrame() *Task { return &Task{pooled: true} }
+
+// recycle clears a pooled frame and returns it to w's pool.
+//
+//hclint:hotpath
+func (w *worker) recycle(t *Task) {
+	t.fn = nil
+	t.finish = nil
+	t.ctx.w = nil
+	t.ctx.finish = nil
+	w.frames.Put(t)
+}
+
 // next finds runnable work for w: own deque, own place path, injected
 // tasks, then steals.
-func (w *worker) next() (Task, bool) {
+func (w *worker) next() (*Task, bool) {
 	if t, ok := w.deque.Pop(); ok {
-		return *t, true
+		return t, true
 	}
 	if w.place != nil {
 		if t, ok := w.placeNext(); ok {
@@ -235,22 +324,25 @@ func (w *worker) next() (Task, bool) {
 		}
 	}
 	if t, ok := w.rt.inject.Pop(); ok {
-		return *t, true
+		return t, true
 	}
 	return w.stealOnce()
 }
 
 // stealOnce makes one sweep over the other deques: in HPT mode ordered
-// by place distance, otherwise from a random start.
-func (w *worker) stealOnce() (Task, bool) {
+// by place distance, otherwise from a random start. Worker deques and
+// external sources are drained with StealBatch — one visit moves up to
+// half the victim's tasks into w's own deque, so repeated sweeps are
+// amortized (steal-half batching).
+func (w *worker) stealOnce() (*Task, bool) {
 	rt := w.rt
 	rt.stealAttempts.Add(1)
 	w.ring.Emit(trace.EvStealAttempt, 0, 0)
 	if w.victims != nil {
 		for _, v := range w.victims {
-			if t, ok := rt.workers[v].deque.Steal(); ok {
-				w.stole(v)
-				return *t, true
+			if t, moved, ok := rt.workers[v].deque.StealBatch(w.deque); ok {
+				w.stole(v, moved)
+				return t, true
 			}
 		}
 		// Foreign place queues (covers leaves with no attached worker)
@@ -258,24 +350,24 @@ func (w *worker) stealOnce() (Task, bool) {
 		if rt.hpt != nil {
 			for _, p := range rt.hpt.places {
 				if t, ok := p.queue.Pop(); ok {
-					w.stole(-1)
-					return *t, true
+					w.stole(-1, 1)
+					return t, true
 				}
 			}
 		}
 		for _, d := range rt.stealSet[len(rt.workers):] {
-			if t, ok := d.Steal(); ok {
-				w.stole(-1)
-				return *t, true
+			if t, moved, ok := d.StealBatch(w.deque); ok {
+				w.stole(-1, moved)
+				return t, true
 			}
 		}
 		w.stealMissed()
-		return Task{}, false
+		return nil, false
 	}
 	n := len(rt.stealSet)
 	if n <= 1 {
 		w.stealMissed()
-		return Task{}, false
+		return nil, false
 	}
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
@@ -284,22 +376,27 @@ func (w *worker) stealOnce() (Task, bool) {
 		if d == w.deque {
 			continue
 		}
-		if t, ok := d.Steal(); ok {
+		if t, moved, ok := d.StealBatch(w.deque); ok {
 			if v >= len(rt.workers) {
 				v = -1 // external steal source (e.g. the comm worker's deque)
 			}
-			w.stole(v)
-			return *t, true
+			w.stole(v, moved)
+			return t, true
 		}
 	}
 	w.stealMissed()
-	return Task{}, false
+	return nil, false
 }
 
-// stole books a successful steal from victim (-1: external source).
-func (w *worker) stole(victim int) {
+// stole books a successful steal of moved tasks from victim (-1:
+// external source). hc_steal_batch counts the tasks moved beyond the
+// first — the extra transfer volume batching buys.
+func (w *worker) stole(victim, moved int) {
 	w.rt.steals.Add(1)
-	w.ring.Emit(trace.EvStealSuccess, int64(victim), 0)
+	if moved > 1 {
+		w.rt.stealBatched.Add(int64(moved - 1))
+	}
+	w.ring.Emit(trace.EvStealSuccess, int64(victim), int64(moved))
 }
 
 // stealMissed books a sweep that found nothing.
@@ -308,15 +405,42 @@ func (w *worker) stealMissed() {
 	w.ring.Emit(trace.EvStealFail, 0, 0)
 }
 
-func (w *worker) run(t Task) {
+func (w *worker) run(t *Task) {
 	w.rt.tasksRun.Add(1)
 	w.ring.Emit(trace.EvTaskStart, 0, 0)
-	ctx := &Ctx{w: w, finish: t.finish}
-	t.fn(ctx)
+	t.ctx.w = w
+	t.ctx.finish = t.finish
+	t.fn(&t.ctx)
 	w.ring.Emit(trace.EvTaskEnd, 0, 0)
-	if t.finish != nil {
-		t.finish.dec()
+	f := t.finish
+	if t.pooled {
+		// The frame (and the ctx inside it) dies here; f was read out
+		// above so the scope can still be signalled.
+		w.recycle(t)
 	}
+	if f != nil {
+		f.dec()
+	}
+}
+
+// spin is the middle rung of the idle protocol: a few extra sweeps with
+// a Gosched between them before committing to a park. Returns true when
+// the caller should re-scan immediately — either a task was found (and
+// run), or the wake ticket moved, meaning work was just published.
+func (w *worker) spin() bool {
+	rt := w.rt
+	seq := rt.wakeSeq.Load()
+	for i := 0; i < spinSweeps; i++ {
+		runtime.Gosched()
+		if t, ok := w.next(); ok {
+			w.run(t)
+			return true
+		}
+		if rt.done.Load() {
+			return false // fall through to loop's park path, which re-checks done
+		}
+	}
+	return rt.wakeSeq.Load() != seq
 }
 
 func (w *worker) loop() {
@@ -329,6 +453,9 @@ func (w *worker) loop() {
 		}
 		if rt.done.Load() {
 			return
+		}
+		if w.spin() {
+			continue
 		}
 		// Park: announce sleeping, re-scan once to close the missed
 		// wakeup window, then wait.
@@ -345,6 +472,7 @@ func (w *worker) loop() {
 			rt.idleMu.Unlock()
 			return
 		}
+		rt.parks.Inc()
 		rt.idleCond.Wait()
 		rt.sleepers.Add(-1)
 		rt.idleMu.Unlock()
@@ -353,22 +481,26 @@ func (w *worker) loop() {
 
 // Async spawns fn as a child task in the current finish scope. The child
 // goes to the bottom of the current worker's deque (newest-first for the
-// owner, oldest-first for thieves).
+// owner, oldest-first for thieves). The frame comes from the worker's
+// pool, so the steady-state spawn allocates nothing.
+//
+//hclint:hotpath
 func (c *Ctx) Async(fn func(*Ctx)) {
 	f := c.finish
 	if f != nil {
 		f.inc()
 	}
-	c.w.rt.tasksSpawned.Add(1)
-	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
-	if c.w.detached {
-		t := Task{fn: fn, finish: f}
-		c.w.rt.inject.Push(&t)
-		c.w.rt.Wake()
+	w := c.w
+	w.rt.tasksSpawned.Add(1)
+	w.ring.Emit(trace.EvTaskSpawn, 0, 0)
+	t := w.newTask(fn, f)
+	if w.detached {
+		// Detached contexts own no steal-visible deque; inject instead.
+		w.rt.submitFrame(t)
 		return
 	}
-	c.w.deque.Push(&Task{fn: fn, finish: f})
-	c.w.rt.Wake()
+	w.deque.Push(t)
+	w.rt.Wake()
 }
 
 // AsyncBlocking spawns fn on a dedicated goroutine (not a pool worker)
@@ -385,18 +517,13 @@ func (c *Ctx) AsyncBlocking(fn func(*Ctx)) {
 	rt.tasksSpawned.Add(1)
 	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
 	go func() {
-		dw := &worker{
-			id:       int(helperIDs.Add(1)) + len(rt.workers),
-			rt:       rt,
-			deque:    deque.NewDeque[Task](),
-			rng:      rand.New(rand.NewSource(helperIDs.Load()*48611 + 3)),
-			detached: true,
-		}
-		ctx := &Ctx{w: dw, finish: f}
-		fn(ctx)
+		dw := rt.getHelper(true)
+		ctx := Ctx{w: dw, finish: f}
+		fn(&ctx)
 		if f != nil {
 			f.dec()
 		}
+		rt.putHelper(dw)
 	}()
 }
 
@@ -411,16 +538,15 @@ func (c *Ctx) AsyncAt(wid int, fn func(*Ctx)) {
 	}
 	c.w.rt.tasksSpawned.Add(1)
 	c.w.ring.Emit(trace.EvTaskSpawn, 0, 0)
+	t := c.w.newTask(fn, f)
 	if !c.w.detached && (wid == c.w.id || wid < 0 || wid >= len(c.w.rt.workers)) {
-		c.w.deque.Push(&Task{fn: fn, finish: f})
+		c.w.deque.Push(t)
 		c.w.rt.Wake()
 		return
 	}
 	// Cross-worker pushes would violate the deque owner discipline, so
 	// route through the shared inject stack.
-	t := Task{fn: fn, finish: f}
-	c.w.rt.inject.Push(&t)
-	c.w.rt.Wake()
+	c.w.rt.submitFrame(t)
 }
 
 // ForAsync spawns body over the iteration space [0,n) in chunks of the
@@ -456,17 +582,26 @@ func (c *Ctx) ForAsync(n, chunk int, body func(ctx *Ctx, i int)) {
 // available tasks (help-first join).
 func (c *Ctx) Finish(body func(*Ctx)) {
 	f := c.w.rt.NewFinish(c.finish)
-	inner := &Ctx{w: c.w, finish: f}
-	body(inner)
+	// The scope's inner context lives inside the Finish itself, so
+	// opening a scope costs one allocation (the Finish), not two.
+	f.inner.w = c.w
+	f.inner.finish = f
+	body(&f.inner)
 	c.w.join(f)
 }
 
-// join helps until f's task count drains to zero.
+// join helps until f's task count drains to zero, with the same
+// spin→yield→park idle protocol as the worker loop (every path that can
+// drop the count to zero calls Wake, so a parked joiner is always
+// roused).
 func (w *worker) join(f *Finish) {
 	rt := w.rt
 	for f.count.Load() > 0 {
 		if t, ok := w.next(); ok {
 			w.run(t)
+			continue
+		}
+		if w.spin() {
 			continue
 		}
 		rt.idleMu.Lock()
@@ -482,6 +617,7 @@ func (w *worker) join(f *Finish) {
 			w.run(t)
 			continue
 		}
+		rt.parks.Inc()
 		rt.idleCond.Wait()
 		rt.sleepers.Add(-1)
 		rt.idleMu.Unlock()
@@ -492,6 +628,30 @@ func (w *worker) join(f *Finish) {
 // execution contexts.
 var helperIDs atomic.Int64
 
+// getHelper pops a recycled helper context or builds one. Helper ids
+// are assigned once, at construction, and stay with the context across
+// reuses.
+func (rt *Runtime) getHelper(detached bool) *worker {
+	hw, ok := rt.helpers.Pop()
+	if !ok {
+		hw = &worker{
+			id:     int(helperIDs.Add(1)) + len(rt.workers),
+			rt:     rt,
+			deque:  deque.NewDeque[Task](),
+			rng:    rand.New(rand.NewSource(helperIDs.Load()*40503 + 7)),
+			frames: deque.NewFreeList[Task](frameListCap),
+		}
+	}
+	hw.detached = detached
+	return hw
+}
+
+// putHelper recycles a helper context; its deque must be empty.
+func (rt *Runtime) putHelper(hw *worker) {
+	hw.detached = false
+	rt.helpers.Push(hw)
+}
+
 // HelpUntil keeps the calling goroutine productive while it waits for an
 // external condition: it executes queued tasks (as a thief over every
 // steal-visible deque, plus the inject queue) until pred() returns true.
@@ -500,38 +660,39 @@ var helperIDs atomic.Int64
 //
 // Tasks executed here run under a helper context whose Worker() id is
 // outside [0, NumWorkers); code keyed on worker ids must tolerate that.
+//
+// An idle helper spins, yields, then parks on idleCond — but unlike a
+// pool worker its park is BOUNDED (exponential backoff from
+// helperParkMin to helperParkMax): pred's trigger is external and not
+// guaranteed to call Wake, so an unbounded park could miss it.
 func (rt *Runtime) HelpUntil(pred func() bool) {
 	if pred() {
 		return
 	}
-	hw := &worker{
-		id:    int(helperIDs.Add(1)) + len(rt.workers) - 1 + 1,
-		rt:    rt,
-		deque: deque.NewDeque[Task](),
-		rng:   rand.New(rand.NewSource(helperIDs.Load()*40503 + 7)),
-	}
+	hw := rt.getHelper(false)
+	seq := rt.wakeSeq.Load()
 	idle := 0
+	park := helperParkMin
 	for !pred() {
-		if t, ok := hw.deque.Pop(); ok {
-			hw.run(*t)
-			idle = 0
-			continue
-		}
-		if t, ok := rt.inject.Pop(); ok {
-			hw.run(*t)
-			idle = 0
-			continue
-		}
-		if t, ok := hw.stealAll(); ok {
+		if t, ok := hw.nextHelper(); ok {
 			hw.run(t)
+			idle = 0
+			park = helperParkMin
+			continue
+		}
+		if s := rt.wakeSeq.Load(); s != seq {
+			seq = s // work was just published; rescan without backing off
 			idle = 0
 			continue
 		}
 		idle++
-		if idle < 128 {
+		if idle <= spinSweeps {
 			runtime.Gosched()
-		} else {
-			time.Sleep(5 * time.Microsecond)
+			continue
+		}
+		rt.parkBounded(hw, park)
+		if park < helperParkMax {
+			park *= 2
 		}
 	}
 	// Anything spawned by helped tasks and not yet executed becomes
@@ -541,25 +702,65 @@ func (rt *Runtime) HelpUntil(pred func() bool) {
 		if !ok {
 			break
 		}
-		rt.Submit(*t)
+		rt.submitFrame(t)
 	}
+	rt.putHelper(hw)
+}
+
+// nextHelper is the helper's work-finding order: own (invisible) deque,
+// injected tasks, then a batched sweep over every steal-visible deque.
+func (w *worker) nextHelper() (*Task, bool) {
+	if t, ok := w.deque.Pop(); ok {
+		return t, true
+	}
+	if t, ok := w.rt.inject.Pop(); ok {
+		return t, true
+	}
+	return w.stealAll()
+}
+
+// parkBounded parks hw on idleCond for at most d: the helper's reusable
+// timer broadcasts the condition when the bound expires. The timer
+// callback takes idleMu, so it cannot fire between the Reset and the
+// Wait — the broadcast is only deliverable once the helper is waiting.
+func (rt *Runtime) parkBounded(hw *worker, d time.Duration) {
+	rt.idleMu.Lock()
+	rt.sleepers.Add(1)
+	if hw.parkTimer == nil {
+		hw.parkTimer = time.AfterFunc(d, rt.broadcastIdle)
+	} else {
+		hw.parkTimer.Reset(d)
+	}
+	rt.parks.Inc()
+	rt.idleCond.Wait()
+	hw.parkTimer.Stop()
+	rt.sleepers.Add(-1)
+	rt.idleMu.Unlock()
+}
+
+// broadcastIdle rouses every idleCond waiter; pool workers woken
+// spuriously re-scan and re-park.
+func (rt *Runtime) broadcastIdle() {
+	rt.idleMu.Lock()
+	rt.idleCond.Broadcast()
+	rt.idleMu.Unlock()
 }
 
 // stealAll sweeps every steal-visible deque (the helper owns none of
-// them).
-func (w *worker) stealAll() (Task, bool) {
+// them), moving batches into the helper's own deque.
+func (w *worker) stealAll() (*Task, bool) {
 	n := len(w.rt.stealSet)
 	if n == 0 {
-		return Task{}, false
+		return nil, false
 	}
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
-		if t, ok := w.rt.stealSet[(start+i)%n].Steal(); ok {
-			w.stole(-1)
-			return *t, true
+		if t, moved, ok := w.rt.stealSet[(start+i)%n].StealBatch(w.deque); ok {
+			w.stole(-1, moved)
+			return t, true
 		}
 	}
-	return Task{}, false
+	return nil, false
 }
 
 // Finish tracks the live-task count of one finish scope.
@@ -568,6 +769,9 @@ type Finish struct {
 	parent *Finish
 	count  atomic.Int64
 	onZero func()
+	// inner is the scope's execution context (Ctx.Finish hands body a
+	// pointer into the Finish instead of allocating a second object).
+	inner Ctx
 }
 
 // Inc registers one more pending task on the scope (exported for runtime

@@ -209,8 +209,10 @@ func (r *Request) GetStatus() (*Status, error) {
 type Config struct {
 	// Workers is the number of computation workers (the paper's -nproc).
 	Workers int
-	// PollSleep is how long the communication worker sleeps when it finds
-	// neither new communication tasks nor progress on active ones.
+	// PollSleep caps the communication worker's idle sleep. After a spin
+	// and yield phase, an idle worker sleeps exponentially longer per
+	// empty sweep — 1µs, 2µs, 4µs, … — up to this value, and never past
+	// the earliest pending deadline or retry instant. Default 20µs.
 	PollSleep time.Duration
 	// SendRetries is how many times the communication worker re-issues a
 	// send whose message the network reported dropped. Sends are
@@ -574,12 +576,14 @@ func (n *Node) commWorker() {
 			if l.halt {
 				continue
 			}
-			if st, ok := l.req.Test(); ok {
-				payload := l.req.Payload()
+			if st, ok := l.req.TestStatus(); ok {
+				old := l.req
+				payload := old.Payload()
 				src := st.Source
 				// Repost before invoking so back-to-back messages queue.
 				l.req = n.comm.IrecvReserved(mpi.AnySource, l.tag)
 				l.fn(src, payload)
+				old.Free() // adopted payload survives; the handle recycles
 				progressed = true
 			}
 		}
@@ -605,12 +609,65 @@ func (n *Node) commWorker() {
 			return
 		}
 		idle++
-		if idle < 64 {
+		switch {
+		case idle < 32:
+			// Hot spin: a fresh prescription or an in-flight completion is
+			// most likely to land within the next few sweeps.
+		case idle < 64:
 			runtime.Gosched()
-		} else {
-			time.Sleep(n.cfg.PollSleep)
+		default:
+			n.idleSleep(idle - 64)
 		}
 	}
+}
+
+// idleSleep parks an idle communication worker. The sleep doubles from
+// 1µs per idle round up to cfg.PollSleep (so a briefly quiet worker
+// reacts in microseconds while a long-idle one settles at the
+// configured cap), and is additionally clipped to the time remaining
+// until the earliest pending event — an active operation's deadline or
+// a dropped send's retry instant — so adaptivity never delays a
+// timeout or retransmission decision.
+func (n *Node) idleSleep(rounds int) {
+	if rounds > 16 {
+		rounds = 16
+	}
+	d := time.Microsecond << rounds
+	if d > n.cfg.PollSleep || d <= 0 {
+		d = n.cfg.PollSleep
+	}
+	if bound, ok := n.nextEventIn(); ok && bound < d {
+		if bound <= 0 {
+			return
+		}
+		d = bound
+	}
+	time.Sleep(d)
+}
+
+// nextEventIn returns how long until the earliest scheduled event the
+// worker itself must act on: the oldest active-operation deadline or
+// pending-retry wake-up. ok is false when nothing is scheduled.
+func (n *Node) nextEventIn() (time.Duration, bool) {
+	var earliest time.Time
+	for _, t := range n.active {
+		if !t.deadline.IsZero() && (earliest.IsZero() || t.deadline.Before(earliest)) {
+			earliest = t.deadline
+		}
+	}
+	for _, t := range n.pendingRetry {
+		at := t.retryAt
+		if !t.deadline.IsZero() && t.deadline.Before(at) {
+			at = t.deadline
+		}
+		if earliest.IsZero() || at.Before(earliest) {
+			earliest = at
+		}
+	}
+	if earliest.IsZero() {
+		return 0, false
+	}
+	return time.Until(earliest), true
 }
 
 func (n *Node) haltListeners() {
@@ -632,8 +689,12 @@ func (n *Node) shouldRetry(t *commTask, st *mpi.Status) bool {
 }
 
 // scheduleRetry parks a dropped send until its backoff elapses: the delay
-// doubles per attempt from RetryBackoff, capped at 64x the base.
+// doubles per attempt from RetryBackoff, capped at 64x the base. The
+// dropped attempt's request handle is recycled here; reissueSend draws
+// a fresh one.
 func (n *Node) scheduleRetry(t *commTask) {
+	t.req.Free()
+	t.req = nil
 	n.stats.retries.Add(1)
 	backoff := n.cfg.RetryBackoff << t.retries
 	if cap := n.cfg.RetryBackoff << 6; backoff > cap {
@@ -667,7 +728,12 @@ func (n *Node) timeoutTask(t *commTask) {
 		}
 		// A send still in flight (or a receive matched but not yet
 		// filled): abandon the MPI request; its late completion is
-		// ignored because the task is no longer polled.
+		// ignored because the task is no longer polled. Deliberately NOT
+		// freed — the transport still holds a reference, and recycling a
+		// handle the network may yet complete invites a cross-operation
+		// mixup the generation fence exists to prevent, not to invite.
+	} else {
+		t.req.Free() // cancelled: withdrawn from the posted queue, inert
 	}
 	n.stats.timeouts.Add(1)
 	n.stats.failures.Add(1)
@@ -837,11 +903,20 @@ func (n *Node) collectiveThunk(t *commTask) func() *Status {
 	}
 }
 
-// completeP2P publishes a point-to-point (or one-sided) completion.
+// completeP2P publishes a point-to-point (or one-sided) completion. The
+// MPI request handle is recycled once its payload (a slice that
+// survives the handle) has been extracted.
 func (n *Node) completeP2P(t *commTask, st *mpi.Status) {
 	hst := &Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes, Cancelled: st.Cancelled, Err: st.Err}
 	if t.takeAll || t.req.Payload() != nil {
 		hst.Payload = t.req.Payload()
+	}
+	if t.kind == kindIsend || t.kind == kindIrecv {
+		// Point-to-point handles are held by this worker alone and can be
+		// recycled. One-sided handles are also tracked by their window's
+		// epoch list (mpi.Win.Fence waits on them later), so they must
+		// stay live until the epoch closes — they fall to the GC instead.
+		t.req.Free()
 	}
 	n.completeLocal(t, hst)
 }

@@ -61,7 +61,9 @@ func (c *Comm) Scan(data []byte, dt Datatype, op Op) []byte {
 	copy(acc, data)
 	if c.rank > 0 {
 		prev := make([]byte, len(data))
-		c.irecv(prev, c.rank-1, collTag(seq, 2), false).Wait()
+		rq := c.irecv(prev, c.rank-1, collTag(seq, 2), false)
+		rq.WaitStatus()
+		rq.Free()
 		// acc = prev ⊕ own (fold order matters for non-commutative ops).
 		op.Combine(dt, prev, acc)
 		copy(acc, prev)
@@ -92,8 +94,10 @@ func (c *Comm) Scatter(parts [][]byte, root int) []byte {
 		return own
 	}
 	r := c.irecv(nil, root, collTag(seq, 3), true)
-	r.Wait()
-	return r.payload
+	r.WaitStatus()
+	part := r.payload
+	r.Free()
+	return part
 }
 
 // Gather collects each rank's data at root, which receives one slice per
@@ -117,7 +121,7 @@ func (c *Comm) Gather(data []byte, root int) [][]byte {
 		reqs = append(reqs, c.irecv(nil, r, collTag(seq, 4), true))
 	}
 	for _, rq := range reqs {
-		rq.Wait()
+		rq.WaitStatus()
 	}
 	i := 0
 	for r := 0; r < p; r++ {
@@ -125,6 +129,7 @@ func (c *Comm) Gather(data []byte, root int) [][]byte {
 			continue
 		}
 		out[r] = reqs[i].payload
+		reqs[i].Free()
 		i++
 	}
 	return out
@@ -150,8 +155,9 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 		if r == c.rank {
 			continue
 		}
-		reqs[r].Wait()
+		reqs[r].WaitStatus()
 		out[r] = reqs[r].payload
+		reqs[r].Free()
 	}
 	return out
 }
@@ -180,8 +186,9 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 		if r == c.rank {
 			continue
 		}
-		reqs[r].Wait()
+		reqs[r].WaitStatus()
 		out[r] = reqs[r].payload
+		reqs[r].Free()
 	}
 	return out
 }

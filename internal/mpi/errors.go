@@ -64,10 +64,13 @@ func (r *Request) WaitErr() (*Status, error) {
 // WaitTimeout waits up to d for completion; on expiry it returns
 // ErrTimeout without completing (or otherwise disturbing) the request.
 func (r *Request) WaitTimeout(d time.Duration) (*Status, error) {
+	if st, ok := r.Test(); ok {
+		return st, st.Err
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-r.done:
+	case <-r.doneChan():
 		st := r.status
 		return &st, st.Err
 	case <-t.C:
@@ -89,28 +92,35 @@ func WaitAllErr(reqs ...*Request) ([]*Status, error) {
 }
 
 // arm installs a deadline on the request; no-op for d <= 0 or an already
-// completed request.
+// completed request. The expiry closure snapshots the request's identity
+// (generation, kind, envelope) at arm time: with pooled requests a timer
+// can outlive its incarnation, and the snapshot both fences the stale
+// firing (generation check) and keeps it from reading fields the next
+// incarnation is rewriting.
 func (r *Request) arm(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	r.mu.Lock()
 	if !r.completed {
-		r.timer = time.AfterFunc(d, r.expire)
+		gen := r.gen.Load()
+		kind, src, tag := r.kind, r.src, r.tag
+		r.timer = time.AfterFunc(d, func() { r.expireGen(gen, kind, src, tag) })
 	}
 	r.mu.Unlock()
 }
 
-// expire is the deadline path. For receives, the posted queue is the
+// expireGen is the deadline path. For receives, the posted queue is the
 // commit point: only the caller that unposts the request may complete it,
 // so a deadline racing a matching delivery (or a Cancel) has exactly one
 // deterministic winner and the loser is a no-op. For sends, complete's
-// single-assignment makes the race benign the same way.
-func (r *Request) expire() {
-	if r.kind == reqRecv && !r.comm.unpost(r) {
+// single-assignment makes the race benign the same way; the generation
+// fence additionally voids timers that outlived a Free.
+func (r *Request) expireGen(gen uint64, kind reqKind, src, tag int) {
+	if kind == reqRecv && !r.comm.unpostGen(r, gen) {
 		return
 	}
-	r.complete(Status{Source: r.src, Tag: r.tag, Err: ErrTimeout})
+	r.completeGen(gen, Status{Source: src, Tag: tag, Err: ErrTimeout})
 }
 
 // failPeer completes, with ErrRankFailed, every posted receive that only

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hcmpi/internal/bufpool"
 	"hcmpi/internal/netsim"
 	"hcmpi/internal/trace"
 )
@@ -94,10 +95,11 @@ func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t
 
 // World is a simulated MPI job: n ranks plus the network joining them.
 type World struct {
-	n     int
-	net   *netsim.Network
-	comms []*Comm
-	opts  Options
+	n       int
+	net     *netsim.Network
+	comms   []*Comm
+	opts    Options
+	metrics *trace.Metrics
 }
 
 // NewWorld creates a world of n ranks.
@@ -112,18 +114,23 @@ func NewWorld(n int, opts ...Option) *World {
 	if o.RanksPerNode <= 0 {
 		o.RanksPerNode = 1
 	}
-	w := &World{n: n, opts: o}
+	w := &World{n: n, opts: o, metrics: trace.NewMetrics()}
 	w.net = netsim.New(n, func(r int) int { return r / o.RanksPerNode }, o.Net)
 	if o.Faults != nil {
 		w.net.SetFaults(*o.Faults)
 	}
 	w.net.SetTrace(o.Tracer.Register(trace.NetPid, 0, "faults", trace.TrackNet))
+	w.net.Buffers().SetMetrics(w.metrics)
 	w.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
 		w.comms[r] = newComm(w, r)
 	}
 	return w
 }
+
+// Metrics exposes the world's counter registry (request-pool and
+// buffer-pool hit rates).
+func (w *World) Metrics() *trace.Metrics { return w.metrics }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
@@ -203,11 +210,28 @@ type Comm struct {
 	// It is written from application, comm-worker, and delivery
 	// goroutines; the ring's slot atomics make that safe.
 	ring *trace.Ring
+
+	// Request / send-op recycling (see Request.Free and sendOp). bufs is
+	// the transport's shared payload pool (nil on transports without
+	// one); fastSend gates the closure-free pooled send path — it is off
+	// for custom transports and for fault planes that can duplicate
+	// messages, where a delivery callback may run twice on one payload.
+	reqMu    sync.Mutex
+	reqPool  []*Request
+	sendMu   sync.Mutex
+	sendOps  []*sendOp
+	bufs     *bufpool.Pool
+	fastSend bool
+	reqHit   *trace.Counter
+	reqMiss  *trace.Counter
 }
 
 type inMsg struct {
 	src, tag int
 	payload  []byte
+	// pooled marks payloads staged from the transport's buffer pool;
+	// the receive path recycles them after copying.
+	pooled bool
 }
 
 func newComm(w *World, rank int) *Comm {
@@ -215,6 +239,10 @@ func newComm(w *World, rank int) *Comm {
 		threadMode: w.opts.ThreadMode, threadOverhead: w.opts.ThreadOverhead}
 	c.ring = w.opts.Tracer.Register(rank, trace.MPITid, "mpi", trace.TrackMPI)
 	c.arrived = sync.NewCond(&c.mu)
+	c.bufs = w.net.Buffers()
+	c.fastSend = w.opts.Faults == nil || w.opts.Faults.DupProb <= 0
+	c.reqHit = w.metrics.Counter("mpi_req_pool_hit")
+	c.reqMiss = w.metrics.Counter("mpi_req_pool_miss")
 	c.sendFn = func(dest, tag int, payload []byte, onDelivered, onDropped func()) {
 		dc := w.comms[dest]
 		src := c.rank

@@ -13,7 +13,7 @@ package mpi
 // Ibarrier starts a non-blocking barrier.
 func (c *Comm) Ibarrier() *Request {
 	seq := c.nextCollSeq()
-	req := newRequest(c, reqSend)
+	req := c.newRequest(reqSend)
 	go func() {
 		c.barrierSeq(seq)
 		req.complete(Status{})
@@ -35,7 +35,8 @@ func (c *Comm) barrierSeq(seq int) {
 		from := (me - k + p) % p
 		r := c.irecv(empty[:], from, collTag(seq, round), false)
 		c.isendRetry(nil, to, collTag(seq, round))
-		r.Wait()
+		r.WaitStatus()
+		r.Free()
 	}
 }
 
@@ -43,7 +44,7 @@ func (c *Comm) barrierSeq(seq int) {
 // buf. The buffer must not be touched until the request completes.
 func (c *Comm) Ibcast(buf []byte, root int) *Request {
 	seq := c.nextCollSeq()
-	req := newRequest(c, reqSend)
+	req := c.newRequest(reqSend)
 	go func() {
 		c.bcastSeq(buf, root, seq)
 		req.complete(Status{Bytes: len(buf)})
@@ -60,7 +61,9 @@ func (c *Comm) bcastSeq(buf []byte, root, seq int) {
 	vrank := (c.rank - root + p) % p
 	if vrank != 0 {
 		parent := (vrank&(vrank-1) + root) % p
-		c.irecv(buf, parent, collTag(seq, 0), false).Wait()
+		rq := c.irecv(buf, parent, collTag(seq, 0), false)
+		rq.WaitStatus()
+		rq.Free()
 	}
 	stop := p
 	if vrank != 0 {
@@ -77,7 +80,7 @@ func (c *Comm) bcastSeq(buf []byte, root, seq int) {
 func (c *Comm) Iallreduce(data []byte, dt Datatype, op Op) *Request {
 	seqR := c.nextCollSeq()
 	seqB := c.nextCollSeq()
-	req := newRequest(c, reqRecv)
+	req := c.newRequest(reqRecv)
 	req.takeAll = true
 	own := make([]byte, len(data))
 	copy(own, data)
@@ -111,7 +114,9 @@ func (c *Comm) reduceSeq(data []byte, dt Datatype, op Op, root, seq int) []byte 
 		}
 		if vrank+mask < p {
 			child := (vrank + mask + root) % p
-			c.irecv(tmp, child, collTag(seq, 1), false).Wait()
+			rq := c.irecv(tmp, child, collTag(seq, 1), false)
+			rq.WaitStatus()
+			rq.Free()
 			op.Combine(dt, acc, tmp)
 		}
 	}

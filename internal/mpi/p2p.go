@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hcmpi/internal/invariant"
@@ -31,15 +32,30 @@ const (
 )
 
 // Request is a non-blocking operation handle, mirroring MPI_Request.
+//
+// Requests are pooled per endpoint: a caller that has observed
+// completion may hand the request back with Free, and stale async
+// references (deadline timers, in-flight network callbacks) are fenced
+// off by the generation counter — they captured the generation at issue
+// time and become no-ops once Free bumps it.
 type Request struct {
 	kind reqKind
 	comm *Comm
 
+	// gen is bumped by Free (under mu); async completion paths capture
+	// it at issue time and check it before touching the request.
+	gen atomic.Uint64
+
 	mu        sync.Mutex
-	done      chan struct{}
-	completed bool
+	done      chan struct{} // lazily created; nil until someone blocks
+	completed bool          // authoritative, guarded by mu
 	status    Status
-	timer     *time.Timer // pending deadline, stopped on completion
+	timer     *time.Timer     // pending deadline, stopped on completion
+	waiters   []chan struct{} // WaitAny registrations, notified on completion
+
+	// completedFlag mirrors completed for lock-free Test/isDone; the
+	// atomic store in complete orders the status write before it.
+	completedFlag atomic.Bool
 
 	// recv-side matching criteria and destination buffer.
 	src, tag int
@@ -50,8 +66,63 @@ type Request struct {
 	payload []byte
 }
 
-func newRequest(c *Comm, kind reqKind) *Request {
-	return &Request{kind: kind, comm: c, done: make(chan struct{})}
+// maxReqPool bounds each endpoint's recycled-request list.
+const maxReqPool = 256
+
+// newRequest draws a request from the endpoint's pool, or allocates.
+func (c *Comm) newRequest(kind reqKind) *Request {
+	c.reqMu.Lock()
+	if n := len(c.reqPool); n > 0 {
+		r := c.reqPool[n-1]
+		c.reqPool[n-1] = nil
+		c.reqPool = c.reqPool[:n-1]
+		c.reqMu.Unlock()
+		c.reqHit.Inc()
+		r.kind = kind
+		return r
+	}
+	c.reqMu.Unlock()
+	c.reqMiss.Inc()
+	return &Request{kind: kind, comm: c}
+}
+
+// Free hands a COMPLETED request back to its endpoint's pool. After
+// Free the caller must not touch the request (or any *Status previously
+// returned by reference into it): the handle will be reissued. Freeing
+// is optional — unfreed requests simply fall to the GC — and freeing an
+// incomplete request is a programming error (asserted under the debug
+// build tag; ignored otherwise).
+func (r *Request) Free() {
+	if r == nil || r.comm == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.completed {
+		r.mu.Unlock()
+		invariant.Assert(false, "mpi: Free of an incomplete request")
+		return
+	}
+	r.gen.Add(1) // fence off stale timers and network callbacks
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	r.completed = false
+	r.completedFlag.Store(false)
+	r.done = nil
+	r.status = Status{}
+	r.buf = nil
+	r.payload = nil
+	r.takeAll = false
+	r.waiters = r.waiters[:0]
+	r.mu.Unlock()
+
+	c := r.comm
+	c.reqMu.Lock()
+	if len(c.reqPool) < maxReqPool {
+		c.reqPool = append(c.reqPool, r)
+	}
+	c.reqMu.Unlock()
 }
 
 // complete publishes the request's final status. It is single-assignment:
@@ -61,50 +132,136 @@ func newRequest(c *Comm, kind reqKind) *Request {
 // picks the deterministic winner before complete is reached.
 func (r *Request) complete(st Status) {
 	r.mu.Lock()
+	r.completeLocked(st)
+	r.mu.Unlock()
+}
+
+// completeGen is complete fenced by a generation: a stale caller (the
+// request was freed and possibly reissued since the caller captured
+// gen) is a no-op.
+func (r *Request) completeGen(gen uint64, st Status) {
+	r.mu.Lock()
+	if r.gen.Load() == gen {
+		r.completeLocked(st)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Request) completeLocked(st Status) {
 	if r.completed {
-		r.mu.Unlock()
 		return
 	}
-	r.completed = true
 	r.status = st
+	r.completed = true
+	r.completedFlag.Store(true)
 	if r.timer != nil {
 		r.timer.Stop()
 		r.timer = nil
 	}
-	close(r.done)
-	r.mu.Unlock()
+	if r.done != nil {
+		close(r.done)
+	}
+	for _, ch := range r.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.waiters = r.waiters[:0]
 }
 
 // isDone reports completion without consuming anything.
-func (r *Request) isDone() bool {
-	select {
-	case <-r.done:
-		return true
-	default:
-		return false
+func (r *Request) isDone() bool { return r.completedFlag.Load() }
+
+// doneChan returns the completion channel, creating it on demand: a
+// request that is only ever Test/TestStatus-polled (the HCMPI comm
+// worker's discipline) never allocates one.
+func (r *Request) doneChan() <-chan struct{} {
+	r.mu.Lock()
+	if r.done == nil {
+		if r.completed {
+			r.mu.Unlock()
+			return closedChan
+		}
+		r.done = make(chan struct{})
 	}
+	ch := r.done
+	r.mu.Unlock()
+	return ch
 }
 
-// Done exposes the completion channel so runtimes (HCMPI's communication
-// worker) can select over it.
-func (r *Request) Done() <-chan struct{} { return r.done }
+// closedChan is the shared already-closed channel doneChan hands out for
+// completed requests.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// addWaiter registers a completion-notification channel (cap >= 1); if
+// the request is already complete the token is delivered immediately.
+func (r *Request) addWaiter(ch chan struct{}) {
+	r.mu.Lock()
+	if r.completed {
+		r.mu.Unlock()
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+		return
+	}
+	r.waiters = append(r.waiters, ch)
+	r.mu.Unlock()
+}
+
+// removeWaiter drops a registration (no-op if completion already
+// cleared it).
+func (r *Request) removeWaiter(ch chan struct{}) {
+	r.mu.Lock()
+	for i, w := range r.waiters {
+		if w == ch {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Done exposes the completion channel so runtimes can select over it.
+func (r *Request) Done() <-chan struct{} { return r.doneChan() }
 
 // Test reports whether the operation has completed, without blocking.
 func (r *Request) Test() (*Status, bool) {
-	select {
-	case <-r.done:
-		st := r.status
-		return &st, true
-	default:
+	if !r.completedFlag.Load() {
 		return nil, false
 	}
+	// The atomic load above orders us after complete's status write, and
+	// nothing rewrites status until the owner calls Free.
+	st := r.status
+	return &st, true
+}
+
+// TestStatus is Test returning the status by value — the
+// allocation-free polling primitive.
+func (r *Request) TestStatus() (Status, bool) {
+	if !r.completedFlag.Load() {
+		return Status{}, false
+	}
+	return r.status, true
 }
 
 // Wait blocks until the operation completes and returns its status.
 func (r *Request) Wait() *Status {
-	<-r.done
-	st := r.status
+	st := r.WaitStatus()
 	return &st
+}
+
+// WaitStatus is Wait returning the status by value (no allocation).
+func (r *Request) WaitStatus() Status {
+	if !r.completedFlag.Load() {
+		<-r.doneChan()
+	}
+	return r.status
 }
 
 // Payload returns the adopted payload of a RecvBytes-style request.
@@ -124,6 +281,27 @@ func (c *Comm) unpost(r *Request) bool {
 		if pr == r {
 			// Winning the commit point implies exclusive completion rights:
 			// a request still in the posted queue cannot already be done.
+			invariant.Assert(!r.isDone(), "mpi: unpost won a request that is already complete")
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// unpostGen is unpost fenced by a generation: a stale caller (a timer
+// that outlived a freed-and-reissued request) never withdraws the new
+// incarnation's posting. Holding c.mu pins the generation — a request
+// present in the posted queue is incomplete, and only completed
+// requests can be freed.
+func (c *Comm) unpostGen(r *Request, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.gen.Load() != gen {
+		return false
+	}
+	for i, pr := range c.posted {
+		if pr == r {
 			invariant.Assert(!r.isDone(), "mpi: unpost won a request that is already complete")
 			c.posted = append(c.posted[:i], c.posted[i+1:]...)
 			return true
@@ -157,8 +335,32 @@ func WaitAll(reqs ...*Request) []*Status {
 	return sts
 }
 
+// WaitAllInto is WaitAll writing statuses into a caller-owned slice, so
+// repeated waits (a polling runtime, a collective loop) reuse one
+// backing array instead of allocating per call. sts is grown only when
+// its capacity is short; the (possibly reallocated) slice is returned.
+func WaitAllInto(sts []Status, reqs ...*Request) []Status {
+	if cap(sts) < len(reqs) {
+		sts = make([]Status, len(reqs))
+	}
+	sts = sts[:len(reqs)]
+	for i, r := range reqs {
+		sts[i] = r.WaitStatus()
+	}
+	return sts
+}
+
+// waitChPool recycles the single notification channel WaitAny parks on;
+// channels are returned drained.
+var waitChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
 // WaitAny blocks until at least one request completes and returns its
 // index and status. With several already complete, the lowest index wins.
+//
+// Rather than spawning a goroutine per request to fan completion
+// channels in, WaitAny registers one pooled cap-1 channel on every
+// request's waiter list and rescans on each wake — zero goroutines and,
+// past the first few calls, zero allocations.
 func WaitAny(reqs ...*Request) (int, *Status) {
 	if len(reqs) == 0 {
 		return -1, nil
@@ -168,16 +370,30 @@ func WaitAny(reqs ...*Request) (int, *Status) {
 			return i, st
 		}
 	}
-	// Nothing ready: park on a fan-in of the completion channels.
-	ch := make(chan int, len(reqs))
-	for i, r := range reqs {
-		go func(i int, r *Request) {
-			<-r.done
-			ch <- i
-		}(i, r)
+	ch := waitChPool.Get().(chan struct{})
+	for _, r := range reqs {
+		r.addWaiter(ch)
 	}
-	i := <-ch
-	return i, reqs[i].Wait()
+	defer func() {
+		for _, r := range reqs {
+			r.removeWaiter(ch)
+		}
+		// Drain any token delivered between the winning scan and the
+		// deregistration above, so the pooled channel starts empty.
+		select {
+		case <-ch:
+		default:
+		}
+		waitChPool.Put(ch)
+	}()
+	for {
+		for i, r := range reqs {
+			if st, ok := r.Test(); ok {
+				return i, st
+			}
+		}
+		<-ch
+	}
 }
 
 // TestAll reports whether all requests have completed.
@@ -232,23 +448,142 @@ func (c *Comm) isendRetry(buf []byte, dest, tag int) *Request {
 	return c.isendOpts(buf, dest, tag, collSendRetries, 0)
 }
 
+// sendOp carries one in-flight send through the simulated network as a
+// netsim.Delivery, replacing the two-to-three closures the legacy path
+// allocates per message. Ops and their staging payloads are pooled; the
+// request pointer is generation-fenced so an op outliving its (freed and
+// reissued) request degrades to recycling its resources.
+//
+// The fast path is only taken when the fault plane cannot duplicate
+// messages (Comm.fastSend): duplication would run Deliver twice on the
+// same op, double-handing the payload to receivers.
+type sendOp struct {
+	c       *Comm
+	req     *Request
+	gen     uint64
+	src     int
+	dest    int
+	tag     int
+	payload []byte
+	pooled  bool // payload came from the transport's buffer pool
+	left    int  // remaining retransmissions
+}
+
+// maxSendOpPool bounds each endpoint's recycled-op list.
+const maxSendOpPool = 256
+
+func (c *Comm) newSendOp() *sendOp {
+	c.sendMu.Lock()
+	if n := len(c.sendOps); n > 0 {
+		s := c.sendOps[n-1]
+		c.sendOps[n-1] = nil
+		c.sendOps = c.sendOps[:n-1]
+		c.sendMu.Unlock()
+		return s
+	}
+	c.sendMu.Unlock()
+	return &sendOp{}
+}
+
+// release recycles the op. The payload must already have been handed off
+// (delivered) or reclaimed (dropped) by the caller.
+func (s *sendOp) release() {
+	c := s.c
+	*s = sendOp{}
+	c.sendMu.Lock()
+	if len(c.sendOps) < maxSendOpPool {
+		c.sendOps = append(c.sendOps, s)
+	}
+	c.sendMu.Unlock()
+}
+
+// Deliver hands the payload to the destination endpoint and completes
+// the send. Payload ownership transfers to the receiver (which recycles
+// it after copying, or adopts it), so s must not touch it afterwards.
+func (s *sendOp) Deliver() {
+	n := len(s.payload)
+	dc := s.c.world.comms[s.dest]
+	dc.deliver(inMsg{src: s.src, tag: s.tag, payload: s.payload, pooled: s.pooled})
+	s.req.completeGen(s.gen, Status{Source: s.src, Tag: s.tag, Bytes: n})
+	s.release()
+}
+
+// Drop classifies a network drop: retransmit, fail the request, or — if
+// the request is already dead (deadline, or freed) — just reclaim.
+func (s *sendOp) Drop() {
+	c := s.c
+	if s.req.gen.Load() != s.gen || s.req.isDone() {
+		c.bufs.PutPooled(s.payload, s.pooled)
+		s.release()
+		return
+	}
+	if c.failed(s.dest) {
+		s.req.completeGen(s.gen, Status{Source: s.src, Tag: s.tag, Err: ErrRankFailed})
+		c.bufs.PutPooled(s.payload, s.pooled)
+		s.release()
+		return
+	}
+	if s.left > 0 {
+		s.left--
+		c.world.net.SendMsg(s.src, s.dest, len(s.payload), s)
+		return
+	}
+	s.req.completeGen(s.gen, Status{Source: s.src, Tag: s.tag, Err: ErrMessageDropped})
+	c.bufs.PutPooled(s.payload, s.pooled)
+	s.release()
+}
+
 // isendOpts is the send core: retries is how many times a dropped message
 // is retransmitted before the request fails with ErrMessageDropped, and
 // timeout (0 = Comm default via SetDeadline) bounds the whole operation.
+//
+//hclint:hotpath
 func (c *Comm) isendOpts(buf []byte, dest, tag int, retries int, timeout time.Duration) *Request {
 	checkRank(dest, c.size)
 	exit := c.enter()
-	payload := make([]byte, len(buf))
-	copy(payload, buf)
-	req := newRequest(c, reqSend)
+	req := c.newRequest(reqSend)
 	src := c.rank
 	req.src, req.tag = src, tag
 	c.ring.Emit(trace.EvSendPost, int64(dest), int64(tag))
 	if c.failed(dest) {
-		req.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
+		req.failPeerSend(src, tag)
 		exit()
 		return req
 	}
+	if c.fastSend {
+		s := c.newSendOp()
+		s.c, s.req, s.gen = c, req, req.gen.Load()
+		s.src, s.dest, s.tag = src, dest, tag
+		s.payload = c.bufs.Get(len(buf))
+		s.pooled = c.bufs != nil
+		copy(s.payload, buf)
+		s.left = retries
+		c.world.net.SendMsg(src, dest, len(s.payload), s)
+	} else {
+		c.isendSlow(req, buf, dest, tag, retries)
+	}
+	if timeout <= 0 {
+		timeout = time.Duration(c.deadline.Load())
+	}
+	req.arm(timeout)
+	exit()
+	return req
+}
+
+// failPeerSend completes a send aimed at a crashed peer (slow path,
+// kept out of the annotated send core).
+func (r *Request) failPeerSend(src, tag int) {
+	r.complete(Status{Source: src, Tag: tag, Err: ErrRankFailed})
+}
+
+// isendSlow is the closure-per-attempt send path, kept for transports
+// without the pooled fast path: custom sendFn endpoints (distributed
+// transports) and fault planes with message duplication, where a
+// delivery callback can run more than once.
+func (c *Comm) isendSlow(req *Request, buf []byte, dest, tag, retries int) {
+	payload := make([]byte, len(buf))
+	copy(payload, buf)
+	src := c.rank
 	var attempt func(left int)
 	attempt = func(left int) {
 		c.sendFn(dest, tag, payload, func() {
@@ -271,18 +606,15 @@ func (c *Comm) isendOpts(buf []byte, dest, tag int, retries int, timeout time.Du
 		})
 	}
 	attempt(retries)
-	if timeout <= 0 {
-		timeout = time.Duration(c.deadline.Load())
-	}
-	req.arm(timeout)
-	exit()
-	return req
 }
 
 // Send is the blocking send: it returns when the message has arrived at
-// the destination endpoint.
+// the destination endpoint. The request is pooled internally, so
+// steady-state blocking sends allocate nothing.
 func (c *Comm) Send(buf []byte, dest, tag int) {
-	c.Isend(buf, dest, tag).Wait()
+	r := c.Isend(buf, dest, tag)
+	r.WaitStatus()
+	r.Free()
 }
 
 // Irecv posts a non-blocking receive into buf, matching src (or
@@ -305,7 +637,7 @@ func (c *Comm) irecvOpts(buf []byte, src, tag int, takeAll bool, timeout time.Du
 		checkRank(src, c.size)
 	}
 	exit := c.enter()
-	req := newRequest(c, reqRecv)
+	req := c.newRequest(reqRecv)
 	req.src, req.tag, req.buf, req.takeAll = src, tag, buf, takeAll
 	c.ring.Emit(trace.EvRecvPost, int64(src), int64(tag))
 	if src != AnySource && c.failed(src) {
@@ -340,10 +672,16 @@ func (c *Comm) irecvOpts(buf []byte, src, tag int, takeAll bool, timeout time.Du
 }
 
 // fill copies (or adopts) a matched message into the request and
-// completes it.
+// completes it. A pooled payload goes back to the transport's buffer
+// pool once copied; adopted payloads leave the pool's custody (the
+// caller owns them, so they fall to the GC instead — never
+// double-recycled).
+//
+//hclint:hotpath
 func (r *Request) fill(m inMsg) {
 	r.comm.ring.Emit(trace.EvMatch, int64(m.src), int64(m.tag))
-	st := Status{Source: m.src, Tag: m.tag}
+	var st Status
+	st.Source, st.Tag = m.src, m.tag
 	if r.takeAll {
 		r.payload = m.payload
 		st.Bytes = len(m.payload)
@@ -351,6 +689,7 @@ func (r *Request) fill(m inMsg) {
 		n := copy(r.buf, m.payload)
 		st.Bytes = n
 		st.Truncated = n < len(m.payload)
+		r.comm.bufs.PutPooled(m.payload, m.pooled)
 	}
 	r.complete(st)
 }
@@ -366,7 +705,10 @@ func (c *Comm) IrecvAdopt(src, tag int) *Request {
 
 // Recv is the blocking receive. It returns the completion status.
 func (c *Comm) Recv(buf []byte, src, tag int) *Status {
-	return c.Irecv(buf, src, tag).Wait()
+	r := c.Irecv(buf, src, tag)
+	st := r.Wait()
+	r.Free()
+	return st
 }
 
 // RecvBytes receives a message of unknown size, returning the full
@@ -374,7 +716,9 @@ func (c *Comm) Recv(buf []byte, src, tag int) *Status {
 func (c *Comm) RecvBytes(src, tag int) ([]byte, *Status) {
 	r := c.irecv(nil, src, tag, true)
 	st := r.Wait()
-	return r.payload, st
+	payload := r.payload
+	r.Free()
+	return payload, st
 }
 
 // deliver runs in the network's delivery goroutine when a message arrives

@@ -190,7 +190,7 @@ func (c *Comm) applyGetResp(src int, payload []byte) {
 // Fence also orders it.
 func (w *Win) Put(data []byte, target, offset int) *Request {
 	c := w.comm
-	req := newRequest(c, reqSend)
+	req := c.newRequest(reqSend)
 	if target == c.rank {
 		w.mu.Lock()
 		copy(w.buf[offset:], data)
@@ -212,7 +212,7 @@ func (w *Win) Put(data []byte, target, offset int) *Request {
 // type dt), like MPI_Accumulate.
 func (w *Win) Accumulate(data []byte, dt Datatype, op Op, target, offset int) *Request {
 	c := w.comm
-	req := newRequest(c, reqSend)
+	req := c.newRequest(reqSend)
 	if target == c.rank {
 		w.mu.Lock()
 		op.Combine(dt, w.buf[offset:offset+len(data)], data)
@@ -234,7 +234,7 @@ func (w *Win) Accumulate(data []byte, dt Datatype, op Op, target, offset int) *R
 // the request payload after completion.
 func (w *Win) Get(n, target, offset int) *Request {
 	c := w.comm
-	req := newRequest(c, reqRecv)
+	req := c.newRequest(reqRecv)
 	req.takeAll = true
 	if target == c.rank {
 		w.mu.Lock()

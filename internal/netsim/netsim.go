@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hcmpi/internal/bufpool"
 	"hcmpi/internal/trace"
 )
 
@@ -75,6 +76,20 @@ type Stats struct {
 	Spikes     int64
 }
 
+// Delivery is a pre-allocated delivery handler: SendMsg's alternative
+// to SendEx's callback pair. A sender that keeps one handler object per
+// in-flight message (e.g. mpi's pooled send operations) passes it here
+// and pays zero closure allocations per send. Exactly one of the two
+// methods runs per message — except under fault-injected duplication,
+// where Deliver runs twice; senders that recycle handler state must
+// not use SendMsg when duplication is enabled.
+type Delivery interface {
+	// Deliver runs when the message arrives at the destination.
+	Deliver()
+	// Drop runs when the fault plane discards the message.
+	Drop()
+}
+
 type message struct {
 	size     int
 	sendTime time.Time
@@ -82,6 +97,9 @@ type message struct {
 	// dropped, if non-nil, fires instead of deliver when the fault plane
 	// discards the message (drop probability, partition, or crashed rank).
 	dropped func()
+	// h, if non-nil, is the message's Delivery handler and takes the
+	// place of both callbacks.
+	h Delivery
 }
 
 // link is the FIFO pipe between one ordered (src,dst) pair.
@@ -128,12 +146,19 @@ type Network struct {
 	// latency spikes) on the interconnect's trace track. Written once by
 	// SetTrace before traffic starts, read by pump goroutines.
 	ring *trace.Ring
+
+	// buffers is the interconnect's shared payload pool: senders stage
+	// message payloads in it and receivers recycle them after copying
+	// out (see mpi). Created with the network so every endpoint shares
+	// one pool.
+	buffers *bufpool.Pool
 }
 
 // New creates a network of n ranks. nodeOf maps a rank to its node id; nil
 // means every rank is its own node.
 func New(n int, nodeOf func(rank int) int, p Params) *Network {
-	nw := &Network{n: n, node: make([]int, n), params: p, links: make(map[[2]int]*link), fstate: newFaultState(n)}
+	nw := &Network{n: n, node: make([]int, n), params: p, links: make(map[[2]int]*link),
+		fstate: newFaultState(n), buffers: bufpool.New()}
 	for r := 0; r < n; r++ {
 		if nodeOf != nil {
 			nw.node[r] = nodeOf(r)
@@ -185,12 +210,39 @@ func (nw *Network) SendEx(src, dst, size int, deliver, dropped func()) {
 	nw.enqueue(src, dst, size, deliver, dropped)
 }
 
+// SendMsg is SendEx with a pre-allocated Delivery handler instead of
+// callbacks: the closure-free send path. Per-(src,dst) FIFO and the
+// fault plane behave exactly as for SendEx.
+//
+//hclint:hotpath
+func (nw *Network) SendMsg(src, dst, size int, h Delivery) {
+	nw.msgs.Add(1)
+	nw.bytes.Add(int64(size))
+	if nw.params.Instant() && !nw.faulty.Load() {
+		h.Deliver()
+		return
+	}
+	nw.enqueueMsg(src, dst, size, h)
+}
+
+// Buffers returns the interconnect's shared payload pool.
+func (nw *Network) Buffers() *bufpool.Pool { return nw.buffers }
+
 // enqueue is SendEx's slow path: queue the message on its (src,dst) link
 // for the pump goroutine to deliver under the pipe model.
 func (nw *Network) enqueue(src, dst, size int, deliver, dropped func()) {
 	l := nw.getLink(src, dst)
 	l.mu.Lock()
 	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), deliver: deliver, dropped: dropped})
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// enqueueMsg is SendMsg's slow path.
+func (nw *Network) enqueueMsg(src, dst, size int, h Delivery) {
+	l := nw.getLink(src, dst)
+	l.mu.Lock()
+	l.queue = append(l.queue, message{size: size, sendTime: time.Now(), h: h})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -302,14 +354,14 @@ func (nw *Network) pump(l *link) {
 		}
 		sleepUntil(arrival)
 		lastArrival = arrival
-		m.deliver()
+		m.send()
 		if duplicate {
 			// The duplicate rides directly behind the original, so it can
 			// never overtake it (or any message sent after it, which is
 			// still queued behind this pump iteration).
 			nw.dups.Add(1)
 			nw.ring.Emit(trace.EvFaultDup, int64(l.src), int64(l.dst))
-			m.deliver()
+			m.send()
 		}
 	}
 }
@@ -319,11 +371,24 @@ func (nw *Network) pump(l *link) {
 // without synchronization).
 func (nw *Network) SetTrace(r *trace.Ring) { nw.ring = r }
 
+// send dispatches the message to its handler or callback.
+func (m *message) send() {
+	if m.h != nil {
+		m.h.Deliver()
+		return
+	}
+	m.deliver()
+}
+
 // drop discards a message on link l, counting it and notifying the
 // sender.
 func (nw *Network) drop(l *link, m message) {
 	nw.drops.Add(1)
 	nw.ring.Emit(trace.EvFaultDrop, int64(l.src), int64(l.dst))
+	if m.h != nil {
+		m.h.Drop()
+		return
+	}
 	if m.dropped != nil {
 		m.dropped()
 	}

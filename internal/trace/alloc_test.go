@@ -1,0 +1,37 @@
+package trace
+
+import "testing"
+
+// TestEmitAllocFree pins Ring.Emit at zero allocations per event, both
+// on a live ring (the enabled path) and on a nil ring (the disabled
+// fast path). Emit sits inside every hot loop the tracer instruments,
+// so a single allocation here would show up as per-task garbage.
+func TestEmitAllocFree(t *testing.T) {
+	tr := New(Config{RingSize: 1 << 10})
+	r := tr.Register(0, 0, "w", TrackCompute)
+	if avg := testing.AllocsPerRun(1000, func() {
+		r.Emit(EvTaskStart, 1, 2)
+	}); avg != 0 {
+		t.Errorf("Emit on live ring allocated %.2f per run, want 0", avg)
+	}
+
+	var nilRing *Ring
+	if avg := testing.AllocsPerRun(1000, func() {
+		nilRing.Emit(EvTaskStart, 1, 2)
+	}); avg != 0 {
+		t.Errorf("Emit on nil ring allocated %.2f per run, want 0", avg)
+	}
+}
+
+// TestCounterAllocFree pins the metrics counters used by the pooled hot
+// paths (Add/Load) at zero allocations.
+func TestCounterAllocFree(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("test_counter")
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		_ = c.Load()
+	}); avg != 0 {
+		t.Errorf("Counter Add/Load allocated %.2f per run, want 0", avg)
+	}
+}
