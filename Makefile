@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo bench bench-smoke
+.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo bench bench-smoke conformance smoke-distributed
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
@@ -25,6 +25,19 @@ test:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestFault|Test.*(Drop|Partition|Crash|Stall|Cancel)' \
 		./internal/netsim/ ./internal/mpi/ ./internal/hcmpi/
+
+# Cross-transport conformance: the p2p/collectives/RMA/hcmpi/DDDF
+# corpora over both backends (netsim and the TCP loopback mesh), plus
+# the TCP transport's own failure/backpressure suite, under the race
+# detector.
+conformance:
+	$(GO) test -race -count=1 -run 'Conformance|TestTCP' \
+		./internal/mpi/ ./internal/hcmpi/ ./internal/dddf/
+
+# Real multi-process smoke: hcmpirun across 4 OS processes (demo
+# program, rank-kill chaos, per-rank trace export).
+smoke-distributed:
+	$(GO) test -count=1 -v ./cmd/hcmpirun/
 
 # Static analysis gate: go vet plus hclint's five HCMPI-specific
 # analyzers (atomic-mix, lifecycle, ddf-once, hotpath-alloc,

@@ -13,6 +13,8 @@
 package hcmpi_test
 
 import (
+	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -383,5 +385,63 @@ func BenchmarkRealUTSHCMPI(b *testing.B) {
 		if total != want {
 			b.Fatalf("nodes %d want %d", total, want)
 		}
+	}
+}
+
+// BenchmarkTCPRoundTrip measures one Isend+Irecv ping-pong across the
+// real TCP transport (a same-process two-rank loopback mesh; every
+// message crosses actual sockets). This is the wire path's headline
+// number: enqueue cost, writer coalescing, and pooled receive staging.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	addrs := make([]string, 2)
+	{
+		lns := make([]net.Listener, 2)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns[i] = ln
+			addrs[i] = ln.Addr().String()
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	comms := make([]*mpi.Comm, 2)
+	closers := make([]io.Closer, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, closer, err := mpi.Distributed(r, addrs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			comms[r], closers[r] = c, closer
+		}(r)
+	}
+	wg.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+	c0, c1 := comms[0], comms[1]
+	msg := make([]byte, 64)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c1.Irecv(buf, 0, 7)
+		s := c0.Isend(msg, 1, 7)
+		r.WaitStatus()
+		s.WaitStatus()
+		r.Free()
+		s.Free()
+	}
+	b.StopTimer()
+	for _, cl := range closers {
+		cl.Close()
 	}
 }

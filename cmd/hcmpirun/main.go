@@ -1,13 +1,27 @@
 // Command hcmpirun is this library's mpirun: it launches a real
 // multi-process HCMPI job over TCP on the local machine. With no -rank
 // flag it allocates ports, spawns one child process per rank (re-executing
-// itself), and waits; each child joins the mesh and runs a demonstration
-// program (ring exchange, allreduce, one-sided puts).
+// itself), and waits; each child joins the mesh and runs the selected
+// program.
 //
 //	go run ./cmd/hcmpirun -np 4 -workers 2
+//	go run ./cmd/hcmpirun -np 4 -trace /tmp/job      # per-rank Perfetto timelines
+//	go run ./cmd/hcmpirun -np 4 -prog chaos -kill-rank 1
 //
-// The point: the identical HCMPI programming surface — communication
-// worker included — runs across OS processes, not just goroutine ranks.
+// Programs:
+//
+//   - demo (default): ring p2p, a collective, one-sided puts — the
+//     identical HCMPI surface, communication worker included, across OS
+//     processes rather than goroutine ranks.
+//   - chaos: the launcher SIGKILLs -kill-rank after -kill-after while the
+//     survivors sit in a collective that includes the victim; every
+//     survivor must observe ErrRankFailed within -deadline and exit
+//     cleanly. Exercises the transport's fail-stop contract end to end.
+//
+// With -trace PREFIX each rank records a runtime timeline and writes
+// PREFIX.rank<N>.json at exit (graceful drain: the mesh teardown flushes
+// outbound queues before the file is written). Open the files in
+// Perfetto (ui.perfetto.dev).
 package main
 
 import (
@@ -17,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"hcmpi"
 )
@@ -24,22 +39,55 @@ import (
 func main() {
 	np := flag.Int("np", 3, "number of ranks (processes)")
 	workers := flag.Int("workers", 2, "computation workers per rank")
+	prog := flag.String("prog", "demo", "program to run: demo or chaos")
+	tracePrefix := flag.String("trace", "", "write per-rank Perfetto timelines to PREFIX.rank<N>.json")
+	killRank := flag.Int("kill-rank", 1, "chaos: rank the launcher SIGKILLs")
+	killAfter := flag.Duration("kill-after", 500*time.Millisecond, "chaos: delay before the kill")
+	deadline := flag.Duration("deadline", 10*time.Second, "chaos: survivors must observe the failure within this window")
 	rank := flag.Int("rank", -1, "internal: this process's rank")
 	addrs := flag.String("addrs", "", "internal: comma-separated mesh addresses")
 	flag.Parse()
 
+	if *prog != "demo" && *prog != "chaos" {
+		fmt.Fprintf(os.Stderr, "unknown -prog %q (want demo or chaos)\n", *prog)
+		os.Exit(2)
+	}
 	if *rank < 0 {
-		launch(*np, *workers)
+		launch(*np, *workers, *prog, *tracePrefix, *killRank, *killAfter, *deadline)
 		return
 	}
-	if err := hcmpi.RunDistributed(*rank, strings.Split(*addrs, ","), *workers, demo); err != nil {
+
+	body := demo
+	if *prog == "chaos" {
+		if *killRank < 0 || *killRank >= *np {
+			fmt.Fprintf(os.Stderr, "-kill-rank %d outside job of %d ranks\n", *killRank, *np)
+			os.Exit(2)
+		}
+		body = chaosProg(*killRank, *deadline)
+	}
+	cfg := hcmpi.Config{Workers: *workers}
+	if *tracePrefix != "" {
+		cfg.Tracer = hcmpi.NewTracer()
+	}
+	err := hcmpi.RunDistributedConfig(*rank, strings.Split(*addrs, ","), cfg, body)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
+	if cfg.Tracer != nil {
+		path := fmt.Sprintf("%s.rank%d.json", *tracePrefix, *rank)
+		if err := cfg.Tracer.WriteChromeFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: trace: %v\n", *rank, err)
+			os.Exit(1)
+		}
+		fmt.Printf("rank %d: timeline written to %s\n", *rank, path)
+	}
 }
 
-// launch allocates ports, spawns np children, and waits for them.
-func launch(np, workers int) {
+// launch allocates ports, spawns np children, and waits for them. In
+// chaos mode it SIGKILLs killRank after killAfter and expects every
+// survivor to exit cleanly anyway.
+func launch(np, workers int, prog, tracePrefix string, killRank int, killAfter, deadline time.Duration) {
 	addrs := make([]string, np)
 	lns := make([]net.Listener, np)
 	for i := range addrs {
@@ -59,13 +107,17 @@ func launch(np, workers int) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("launching %d processes, %d workers each\n", np, workers)
+	fmt.Printf("launching %d processes, %d workers each (prog=%s)\n", np, workers, prog)
 	procs := make([]*exec.Cmd, np)
 	for r := 0; r < np; r++ {
 		cmd := exec.Command(self,
 			"-rank", fmt.Sprint(r),
 			"-addrs", strings.Join(addrs, ","),
-			"-workers", fmt.Sprint(workers))
+			"-workers", fmt.Sprint(workers),
+			"-prog", prog,
+			"-trace", tracePrefix,
+			"-kill-rank", fmt.Sprint(killRank),
+			"-deadline", deadline.String())
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -74,9 +126,24 @@ func launch(np, workers int) {
 		}
 		procs[r] = cmd
 	}
+	if prog == "chaos" {
+		time.Sleep(killAfter)
+		fmt.Printf("chaos: killing rank %d (pid %d)\n", killRank, procs[killRank].Process.Pid)
+		if err := procs[killRank].Process.Kill(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: kill: %v\n", err)
+		}
+	}
 	fail := false
 	for r, p := range procs {
-		if err := p.Wait(); err != nil {
+		err := p.Wait()
+		if prog == "chaos" && r == killRank {
+			if err == nil {
+				fmt.Fprintln(os.Stderr, "chaos: victim exited cleanly before the kill landed")
+				fail = true
+			}
+			continue // killed by us: expected
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rank %d exited: %v\n", r, err)
 			fail = true
 		}
@@ -84,7 +151,11 @@ func launch(np, workers int) {
 	if fail {
 		os.Exit(1)
 	}
-	fmt.Println("job complete")
+	if prog == "chaos" {
+		fmt.Println("chaos complete: all survivors observed the rank failure")
+	} else {
+		fmt.Println("job complete")
+	}
 }
 
 // demo: ring p2p, a collective, and one-sided puts — across processes.
@@ -119,6 +190,39 @@ func demo(n *hcmpi.Node, ctx *hcmpi.Ctx) {
 	}
 	if me == 0 {
 		fmt.Println("one-sided puts verified on every process")
+	}
+}
+
+// chaosProg builds the fail-stop exercise: after a warm-up collective
+// the victim leaves the collective schedule and waits for the
+// launcher's SIGKILL, while the survivors enter a barrier that still
+// includes it. That barrier can only complete through the failure
+// path, after which each survivor asserts that operations against the
+// dead rank fail fast with ErrRankFailed.
+func chaosProg(victim int, deadline time.Duration) func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+	return func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		me := n.Rank()
+		n.Barrier(ctx) // everyone up, mesh fully connected
+		if me == victim {
+			fmt.Printf("chaos: victim rank %d (pid %d) awaiting kill\n", me, os.Getpid())
+			select {} // hold the rank open until SIGKILL
+		}
+		watchdog := time.AfterFunc(deadline, func() {
+			fmt.Fprintf(os.Stderr, "chaos: rank %d: deadline %v expired without observing the failure\n", me, deadline)
+			os.Exit(3)
+		})
+		defer watchdog.Stop()
+
+		// Mid-collective when the kill lands: the victim never joins, so
+		// this unblocks only once the transport declares it failed.
+		n.Barrier(ctx)
+
+		st := n.Wait(ctx, n.Isend([]byte{1}, victim, 9))
+		if st.Err != hcmpi.ErrRankFailed {
+			fmt.Fprintf(os.Stderr, "chaos: rank %d: send to dead rank returned %v, want ErrRankFailed\n", me, st.Err)
+			os.Exit(4)
+		}
+		fmt.Printf("chaos: rank %d observed ErrRankFailed for rank %d\n", me, victim)
 	}
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildHcmpirun compiles the launcher once per test binary.
+func buildHcmpirun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hcmpirun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeDistributed runs the demo program across 4 real OS
+// processes: mesh bring-up, ring p2p, a collective, RMA, teardown.
+func TestSmokeDistributed(t *testing.T) {
+	bin := buildHcmpirun(t)
+	out, err := exec.Command(bin, "-np", "4", "-workers", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("demo run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"allreduce over 4 processes: 10",
+		"one-sided puts verified on every process", "job complete"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosRankKill SIGKILLs one rank of a live job mid-collective and
+// asserts every survivor observes ErrRankFailed within the deadline —
+// the transport's fail-stop contract across real processes.
+func TestChaosRankKill(t *testing.T) {
+	bin := buildHcmpirun(t)
+	out, err := exec.Command(bin, "-np", "4", "-workers", "2",
+		"-prog", "chaos", "-kill-rank", "1",
+		"-kill-after", "300ms", "-deadline", "20s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out)
+	}
+	for _, survivor := range []string{"0", "2", "3"} {
+		want := "chaos: rank " + survivor + " observed ErrRankFailed for rank 1"
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(string(out), "chaos complete") {
+		t.Errorf("launcher did not report success:\n%s", out)
+	}
+}
+
+// TestTraceExport runs a traced job and checks every rank wrote a
+// non-empty Perfetto timeline.
+func TestTraceExport(t *testing.T) {
+	bin := buildHcmpirun(t)
+	prefix := filepath.Join(t.TempDir(), "job")
+	out, err := exec.Command(bin, "-np", "3", "-workers", "1", "-trace", prefix).CombinedOutput()
+	if err != nil {
+		t.Fatalf("traced run: %v\n%s", err, out)
+	}
+	for r := 0; r < 3; r++ {
+		path := prefix + ".rank" + string(rune('0'+r)) + ".json"
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("rank %d timeline: %v\n%s", r, err, out)
+		}
+		if st.Size() == 0 {
+			t.Errorf("rank %d timeline is empty", r)
+		}
+	}
+}

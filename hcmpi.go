@@ -230,11 +230,23 @@ func (cfg Config) nodeConfig() hcmpi.Config {
 // point, collectives, phasers, accumulators, RMA, DDDFs — works over the
 // wire unchanged.
 func RunDistributed(rank int, addrs []string, workers int, body func(n *Node, ctx *Ctx)) error {
-	c, closer, err := mpi.Distributed(rank, addrs)
+	return RunDistributedConfig(rank, addrs, Config{Workers: workers}, body)
+}
+
+// RunDistributedConfig is RunDistributed with full control over the job
+// configuration. The netsim-only knobs (Net, RanksPerNode, Faults) do
+// not apply over TCP and are ignored; Tracer attaches the rank's MPI
+// endpoint and worker tracks to a timeline the caller can export.
+func RunDistributedConfig(rank int, addrs []string, cfg Config, body func(n *Node, ctx *Ctx)) error {
+	var opts []mpi.DistOption
+	if cfg.Tracer != nil {
+		opts = append(opts, mpi.WithMeshTracer(cfg.Tracer))
+	}
+	c, closer, err := mpi.Distributed(rank, addrs, opts...)
 	if err != nil {
 		return err
 	}
-	n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers})
+	n := hcmpi.NewNode(c, cfg.nodeConfig())
 	n.Main(func(ctx *hc.Ctx) { body(n, ctx) })
 	n.Close()
 	return closer.Close()

@@ -1,0 +1,111 @@
+package dddf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/mpi/mpitest"
+)
+
+// Cross-transport conformance for the DDDF (APGNS) protocol: the corpus
+// runs over every mpitest backend, so registration, data, and
+// put-forwarding messages are proven equivalent whether they cross the
+// netsim pipes or real sockets.
+
+type dddfCase struct {
+	name  string
+	ranks int
+	body  func(t *testing.T, s *Space, ctx *hc.Ctx)
+}
+
+func dddfCorpus() []dddfCase {
+	return []dddfCase{
+		{"RemoteAwait", 3, confDDDFRemoteAwait},
+		{"RemotePutForwardsHome", 3, confDDDFRemotePut},
+		{"ManyGuidsAllRanks", 4, confDDDFManyGuids},
+	}
+}
+
+func TestDDDFConformance(t *testing.T) {
+	for _, b := range mpitest.Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, tc := range dddfCorpus() {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					home := func(guid int64) int { return int(guid) % tc.ranks }
+					b.Run(t, tc.ranks, func(c *mpi.Comm) {
+						n := hcmpi.NewNode(c, hcmpi.Config{Workers: 2})
+						s := NewSpace(n, home, nil)
+						n.Main(func(ctx *hc.Ctx) { tc.body(t, s, ctx) })
+						n.Close()
+					})
+				})
+			}
+		})
+	}
+}
+
+// confDDDFRemoteAwait: one home rank puts, every rank awaits and reads.
+func confDDDFRemoteAwait(t *testing.T, s *Space, ctx *hc.Ctx) {
+	h := s.Handle(0)
+	if h.IsHome() {
+		h.Put(ctx, []byte("dddf-conformance"))
+	}
+	done := make(chan string, 1)
+	ctx.Finish(func(ctx *hc.Ctx) {
+		s.AsyncAwait(ctx, func(*hc.Ctx) { done <- string(h.MustGet()) }, h)
+	})
+	if got := <-done; got != "dddf-conformance" {
+		t.Errorf("rank %d read %q", s.Node().Rank(), got)
+	}
+}
+
+// confDDDFRemotePut: a non-home rank puts; the value still becomes
+// visible everywhere (the put forwards to the guid's home first).
+func confDDDFRemotePut(t *testing.T, s *Space, ctx *hc.Ctx) {
+	h := s.Handle(1) // homed on rank 1
+	if s.Node().Rank() == 2 {
+		h.Put(ctx, []byte("forwarded"))
+	}
+	done := make(chan string, 1)
+	ctx.Finish(func(ctx *hc.Ctx) {
+		s.AsyncAwait(ctx, func(*hc.Ctx) { done <- string(h.MustGet()) }, h)
+	})
+	if got := <-done; got != "forwarded" {
+		t.Errorf("rank %d read %q", s.Node().Rank(), got)
+	}
+}
+
+// confDDDFManyGuids: every rank homes and fills one guid; every rank
+// awaits all of them (all-to-all registration and data traffic).
+func confDDDFManyGuids(t *testing.T, s *Space, ctx *hc.Ctx) {
+	p := s.Node().Size()
+	me := s.Node().Rank()
+	hs := make([]*Handle, p)
+	for g := 0; g < p; g++ {
+		hs[g] = s.Handle(int64(g))
+	}
+	hs[me].Put(ctx, []byte(fmt.Sprintf("from-%d", me)))
+	var mu sync.Mutex
+	got := make(map[int64]string)
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for _, h := range hs {
+			h := h
+			s.AsyncAwait(ctx, func(*hc.Ctx) {
+				mu.Lock()
+				got[h.Guid()] = string(h.MustGet())
+				mu.Unlock()
+			}, h)
+		}
+	})
+	for g := 0; g < p; g++ {
+		if want := fmt.Sprintf("from-%d", g); got[int64(g)] != want {
+			t.Errorf("rank %d guid %d: %q want %q", me, g, got[int64(g)], want)
+		}
+	}
+}

@@ -278,6 +278,13 @@ func (l *Loader) loadBase(path string) (*Package, error) {
 // already-checked packages (used so an external test package sees the
 // test-augmented package under test).
 func (l *Loader) check(path, dir string, files []*ast.File, overrides map[string]*Package) (*Package, error) {
+	return l.checkWith(path, dir, files, &unitImporter{l: l, overrides: overrides})
+}
+
+// checkWith type-checks one unit with an explicit importer, so an
+// override-carrying unit's recursive dependency checks share that
+// importer (and its per-unit memo).
+func (l *Loader) checkWith(path, dir string, files []*ast.File, imp *unitImporter) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -289,7 +296,7 @@ func (l *Loader) check(path, dir string, files []*ast.File, overrides map[string
 	}
 	var errs []error
 	conf := types.Config{
-		Importer: &unitImporter{l: l, overrides: overrides},
+		Importer: imp,
 		Error:    func(err error) { errs = append(errs, err) },
 	}
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
@@ -302,9 +309,21 @@ func (l *Loader) check(path, dir string, files []*ast.File, overrides map[string
 // unitImporter resolves one unit's imports: overrides first, then
 // module-internal packages through the loader, then the standard
 // library through the source importer.
+//
+// A unit carrying overrides (an external test package) must see the
+// overridden package through *every* import path, direct or transitive:
+// if the xtest imports a helper that itself imports the package under
+// test, resolving the helper against a fresh base-only check would
+// produce a second, distinct types.Package for the same import path and
+// spurious "cannot use T as T" errors. go test has the same problem and
+// solves it the same way — test dependencies that import the package
+// under test are rebuilt against its augmented form — so module-internal
+// imports of an override-carrying unit are re-checked with the overrides
+// applied, memoized per unit and kept out of the module-wide base cache.
 type unitImporter struct {
 	l         *Loader
 	overrides map[string]*Package
+	memo      map[string]*Package // per-unit re-checks under overrides
 }
 
 func (u *unitImporter) Import(path string) (*types.Package, error) {
@@ -315,7 +334,13 @@ func (u *unitImporter) Import(path string) (*types.Package, error) {
 		return p.Types, nil
 	}
 	if u.l.module != "" && (path == u.l.module || strings.HasPrefix(path, u.l.module+"/")) {
-		p, err := u.l.loadBase(path)
+		var p *Package
+		var err error
+		if len(u.overrides) > 0 {
+			p, err = u.loadOverridden(path)
+		} else {
+			p, err = u.l.loadBase(path)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +350,33 @@ func (u *unitImporter) Import(path string) (*types.Package, error) {
 		return p.Types, nil
 	}
 	return u.l.std.Import(path)
+}
+
+// loadOverridden re-checks a module-internal dependency under this
+// unit's overrides (see the type comment).
+func (u *unitImporter) loadOverridden(path string) (*Package, error) {
+	if p, ok := u.memo[path]; ok {
+		return p, nil
+	}
+	if u.l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	u.l.loading[path] = true
+	defer delete(u.l.loading, path)
+	dir := u.l.dirFor(path)
+	src, err := u.l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := u.l.checkWith(path, dir, src.base, u)
+	if err != nil {
+		return nil, err
+	}
+	if u.memo == nil {
+		u.memo = map[string]*Package{}
+	}
+	u.memo[path] = p
+	return p, nil
 }
 
 // ---- build constraint evaluation ----

@@ -177,8 +177,13 @@ type Comm struct {
 	// the message — the send layer's retransmit/fail signal. Reliable
 	// transports never invoke it.
 	sendFn func(dest, tag int, payload []byte, onDelivered, onDropped func())
+	// sendHook, when non-nil, replaces the whole send path: the transport
+	// stages its own copy of buf and owns completing req (the TCP mesh's
+	// asynchronous enqueue). It takes precedence over both the pooled
+	// netsim fast path and the sendFn slow path.
+	sendHook func(req *Request, buf []byte, dest, tag int)
 	// failedFn reports whether a peer rank has crashed (nil: no failure
-	// detector, as on the TCP transport).
+	// detector).
 	failedFn func(rank int) bool
 	// deadline is the default per-operation deadline in nanoseconds
 	// (Comm.SetDeadline); 0 disables it.
@@ -224,7 +229,15 @@ type Comm struct {
 	fastSend bool
 	reqHit   *trace.Counter
 	reqMiss  *trace.Counter
+
+	// metrics is the endpoint's counter registry: the world's for netsim
+	// comms, the mesh's for distributed comms.
+	metrics *trace.Metrics
 }
+
+// Metrics exposes this endpoint's counter registry (request/buffer pool
+// hit rates; comm_tcp_* transport counters on distributed comms).
+func (c *Comm) Metrics() *trace.Metrics { return c.metrics }
 
 type inMsg struct {
 	src, tag int
@@ -239,6 +252,7 @@ func newComm(w *World, rank int) *Comm {
 		threadMode: w.opts.ThreadMode, threadOverhead: w.opts.ThreadOverhead}
 	c.ring = w.opts.Tracer.Register(rank, trace.MPITid, "mpi", trace.TrackMPI)
 	c.arrived = sync.NewCond(&c.mu)
+	c.metrics = w.metrics
 	c.bufs = w.net.Buffers()
 	c.fastSend = w.opts.Faults == nil || w.opts.Faults.DupProb <= 0
 	c.reqHit = w.metrics.Counter("mpi_req_pool_hit")

@@ -550,7 +550,9 @@ func (c *Comm) isendOpts(buf []byte, dest, tag int, retries int, timeout time.Du
 		exit()
 		return req
 	}
-	if c.fastSend {
+	if c.sendHook != nil {
+		c.sendHook(req, buf, dest, tag)
+	} else if c.fastSend {
 		s := c.newSendOp()
 		s.c, s.req, s.gen = c, req, req.gen.Load()
 		s.src, s.dest, s.tag = src, dest, tag

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs grabs n free localhost ports.
@@ -164,6 +165,149 @@ func TestDistributedBadRank(t *testing.T) {
 	if _, _, err := Distributed(5, []string{"127.0.0.1:0"}); err == nil {
 		t.Fatal("bad rank accepted")
 	}
+}
+
+// bringUp builds a same-process mesh and hands every rank's endpoint
+// back for direct driving (failure tests tear ranks down one-sidedly,
+// so the collective teardown in runDistributed does not apply).
+// optsFor supplies per-rank options.
+func bringUp(t *testing.T, n int, optsFor func(rank int) []DistOption) ([]*Comm, []io.Closer) {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	comms := make([]*Comm, n)
+	closers := make([]io.Closer, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var opts []DistOption
+			if optsFor != nil {
+				opts = optsFor(r)
+			}
+			c, closer, err := Distributed(r, addrs, opts...)
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			comms[r], closers[r] = c, closer
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return comms, closers
+}
+
+// TestTCPPeerFailure is the transport's failure contract: when a peer's
+// connection dies, receives posted against it complete with
+// ErrRankFailed (no hang), and future sends to it fail fast.
+func TestTCPPeerFailure(t *testing.T) {
+	comms, closers := bringUp(t, 2, nil)
+	defer closers[0].Close()
+
+	req := comms[0].Irecv(make([]byte, 8), 1, 7)
+	closers[1].Close() // rank 1 goes away without warning rank 0
+
+	st := req.WaitStatus()
+	if st.Err != ErrRankFailed {
+		t.Fatalf("posted recv after peer death: %+v, want ErrRankFailed", st)
+	}
+	// The failure detector now fast-fails anything aimed at the dead rank.
+	if st := comms[0].Isend([]byte{1}, 1, 7).WaitStatus(); st.Err != ErrRankFailed {
+		t.Fatalf("send to dead rank: %+v, want ErrRankFailed", st)
+	}
+	if got := comms[0].Metrics().Counter("comm_tcp_peer_failures").Load(); got == 0 {
+		t.Fatal("comm_tcp_peer_failures not incremented")
+	}
+}
+
+// TestTCPHeartbeatDetectsSilentPeer covers the missed-heartbeat path:
+// rank 1 keeps its connection open but never speaks (keepalives
+// disabled), and rank 0's detector must declare it failed.
+func TestTCPHeartbeatDetectsSilentPeer(t *testing.T) {
+	comms, closers := bringUp(t, 2, func(rank int) []DistOption {
+		if rank == 0 {
+			return []DistOption{WithHeartbeat(20*time.Millisecond, 200*time.Millisecond)}
+		}
+		return []DistOption{WithHeartbeat(0, 0)} // mute rank 1
+	})
+	defer closers[0].Close()
+	defer closers[1].Close()
+
+	req := comms[0].Irecv(make([]byte, 8), 1, 7)
+	done := make(chan Status, 1)
+	go func() { done <- req.WaitStatus() }()
+	select {
+	case st := <-done:
+		if st.Err != ErrRankFailed {
+			t.Fatalf("recv from silent peer: %+v, want ErrRankFailed", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("missed-heartbeat detector never fired")
+	}
+}
+
+// TestTCPQueueBackpressure pins the bounded-queue contract: a full
+// outbound queue blocks the sender (it must not drop or fail frames),
+// and everything still arrives in order.
+func TestTCPQueueBackpressure(t *testing.T) {
+	const msgs = 200
+	comms, closers := bringUp(t, 2, func(int) []DistOption {
+		return []DistOption{WithQueueCap(1)}
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if st := comms[0].Isend([]byte{byte(i)}, 1, 3).WaitStatus(); st.Err != nil {
+				t.Errorf("send %d: %+v", i, st)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := 0; i < msgs; i++ {
+		if st := comms[1].Recv(buf, 0, 3); st.Err != nil || buf[0] != byte(i) {
+			t.Fatalf("recv %d: %+v buf=%d", i, st, buf[0])
+		}
+	}
+	wg.Wait()
+	closers[0].Close()
+	closers[1].Close()
+}
+
+// TestTCPMetricsWiring spot-checks the comm_tcp_* counters after a
+// known traffic pattern.
+func TestTCPMetricsWiring(t *testing.T) {
+	runDistributed(t, 2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		buf := make([]byte, 100)
+		for i := 0; i < 10; i++ {
+			// Send waits for wire completion, so the send-side counters
+			// are committed before it returns; Recv likewise for the
+			// receive-side ones.
+			c.Send(make([]byte, 100), peer, 1)
+			c.Recv(buf, peer, 1)
+		}
+		m := c.Metrics()
+		if got := m.Counter("comm_tcp_frames_sent").Load(); got < 10 {
+			t.Errorf("comm_tcp_frames_sent = %d, want >= 10", got)
+		}
+		if got := m.Counter("comm_tcp_flush_batches").Load(); got == 0 {
+			t.Error("comm_tcp_flush_batches = 0")
+		}
+		if got := m.Counter("comm_tcp_bytes_sent").Load(); got < 1000 {
+			t.Errorf("comm_tcp_bytes_sent = %d, want >= 1000", got)
+		}
+		if got := m.Counter("comm_tcp_bytes_recv").Load(); got < 1000 {
+			t.Errorf("comm_tcp_bytes_recv = %d, want >= 1000", got)
+		}
+	})
 }
 
 var _ io.Closer = (*tcpMesh)(nil)
