@@ -23,8 +23,8 @@ test:
 
 # Just the fault-injection suites (they honor -short; this runs them long).
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestFault|Test.*(Drop|Partition|Crash|Stall|Cancel)' \
-		./internal/netsim/ ./internal/mpi/ ./internal/hcmpi/
+	$(GO) test -race -count=1 -run 'Chaos|TestFault|Test.*(Drop|Partition|Crash|Stall|Cancel)' \
+		./internal/netsim/ ./internal/mpi/ ./internal/hcmpi/ ./internal/distsched/
 
 # Cross-transport conformance: the p2p/collectives/RMA/hcmpi/DDDF
 # corpora over both backends (netsim and the TCP loopback mesh), plus
@@ -32,10 +32,11 @@ chaos:
 # detector.
 conformance:
 	$(GO) test -race -count=1 -run 'Conformance|TestTCP' \
-		./internal/mpi/ ./internal/hcmpi/ ./internal/dddf/
+		./internal/mpi/ ./internal/hcmpi/ ./internal/dddf/ ./internal/distsched/
 
 # Real multi-process smoke: hcmpirun across 4 OS processes (demo
-# program, rank-kill chaos, per-rank trace export).
+# program, rank-kill chaos, distributed-scheduler steal smoke and
+# dist-chaos, per-rank trace export).
 smoke-distributed:
 	$(GO) test -count=1 -v ./cmd/hcmpirun/
 

@@ -388,6 +388,82 @@ func BenchmarkRealUTSHCMPI(b *testing.B) {
 	}
 }
 
+// BenchmarkDistStealThroughput measures the distributed scheduler's
+// migrate-execute pipeline: two netsim ranks, every frame seeded on
+// rank 0, rank 1 feeding on steal-half grants. ns/op is the per-frame
+// cost of the full protocol (request, harvest, grant, decode, execute,
+// termination); migrated/op is the fraction of frames that crossed
+// ranks.
+func BenchmarkDistStealThroughput(b *testing.B) {
+	var migrated int64
+	var mu sync.Mutex
+	hcmpi.Run(2, 1, func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
+		s := hcmpi.NewDistScheduler(n, hcmpi.DistConfig{})
+		s.Register("spin", func(*hcmpi.DistTaskCtx, []byte) {
+			acc := 1
+			for i := 0; i < 512; i++ {
+				acc = acc*31 + i
+			}
+			if acc == 42 {
+				panic("unreachable")
+			}
+		})
+		if n.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				s.Submit("spin", nil)
+			}
+			b.ResetTimer()
+		}
+		if err := s.Run(ctx); err != nil {
+			b.Errorf("rank %d: %v", n.Rank(), err)
+		}
+		if n.Rank() == 1 {
+			mu.Lock()
+			migrated += s.Stats().MigratedIn
+			mu.Unlock()
+		}
+	})
+	b.ReportMetric(float64(migrated)/float64(b.N), "migrated/op")
+}
+
+// BenchmarkDistUTSImbalanced runs the acceptance workload — a geometric
+// UTS tree seeded entirely on rank 0 — at 1 rank and at 4 ranks with the
+// distributed scheduler rebalancing it, and reports the 4-rank-over-
+// 1-rank wall-clock speedup. The ranks are in-process goroutines, so the
+// speedup converges to min(4, GOMAXPROCS) as cores become available; on
+// a single-core host it sits just below 1 (protocol overhead with no
+// parallelism to pay for it).
+func BenchmarkDistUTSImbalanced(b *testing.B) {
+	want, _ := uts.T1Med.SeqCount()
+	run := func(ranks int) time.Duration {
+		var total int64
+		var mu sync.Mutex
+		start := time.Now()
+		w := mpi.NewWorld(ranks)
+		w.Run(func(c *mpi.Comm) {
+			n := hcmpinode.NewNode(c, hcmpinode.Config{Workers: 1})
+			ctr := uts.RunHCMPI(n, uts.T1Med, uts.DefaultParams)
+			n.Close()
+			mu.Lock()
+			total += ctr.Nodes
+			mu.Unlock()
+		})
+		elapsed := time.Since(start)
+		if total != want {
+			b.Fatalf("%d ranks: counted %d nodes, want %d", ranks, total, want)
+		}
+		return elapsed
+	}
+	var t1, t4 time.Duration
+	for i := 0; i < b.N; i++ {
+		t1 += run(1)
+		t4 += run(4)
+	}
+	b.ReportMetric(t1.Seconds()/float64(b.N)*1e3, "ms-1rank")
+	b.ReportMetric(t4.Seconds()/float64(b.N)*1e3, "ms-4rank")
+	b.ReportMetric(float64(t1)/float64(t4), "speedup")
+}
+
 // BenchmarkTCPRoundTrip measures one Isend+Irecv ping-pong across the
 // real TCP transport (a same-process two-rank loopback mesh; every
 // message crosses actual sockets). This is the wire path's headline

@@ -7,8 +7,9 @@
 //	go run ./cmd/hcmpirun -np 4 -workers 2
 //	go run ./cmd/hcmpirun -np 4 -trace /tmp/job      # per-rank Perfetto timelines
 //	go run ./cmd/hcmpirun -np 4 -prog chaos -kill-rank 1
+//	go run ./cmd/hcmpirun -np 4 -prog uts-dist       # distributed-scheduler steal smoke
 //
-// Programs:
+// Programs (the table in progs.go; -prog selects one):
 //
 //   - demo (default): ring p2p, a collective, one-sided puts — the
 //     identical HCMPI surface, communication worker included, across OS
@@ -17,6 +18,13 @@
 //     survivors sit in a collective that includes the victim; every
 //     survivor must observe ErrRankFailed within -deadline and exit
 //     cleanly. Exercises the transport's fail-stop contract end to end.
+//   - uts-dist: Unbalanced Tree Search seeded entirely on rank 0 and
+//     rebalanced by the runtime's distributed work-stealing scheduler;
+//     each rank reports its migrated-in task count and rank 0 verifies
+//     the global node count against the sequential ground truth.
+//   - dist-chaos: chaos for the distributed scheduler — the victim rank
+//     serves steals from a long task queue when the kill lands, and every
+//     survivor's Scheduler.Run must abort with ErrRankFailed.
 //
 // With -trace PREFIX each rank records a runtime timeline and writes
 // PREFIX.rank<N>.json at exit (graceful drain: the mesh teardown flushes
@@ -39,32 +47,30 @@ import (
 func main() {
 	np := flag.Int("np", 3, "number of ranks (processes)")
 	workers := flag.Int("workers", 2, "computation workers per rank")
-	prog := flag.String("prog", "demo", "program to run: demo or chaos")
+	prog := flag.String("prog", "demo", "program to run: "+progNames())
 	tracePrefix := flag.String("trace", "", "write per-rank Perfetto timelines to PREFIX.rank<N>.json")
-	killRank := flag.Int("kill-rank", 1, "chaos: rank the launcher SIGKILLs")
-	killAfter := flag.Duration("kill-after", 500*time.Millisecond, "chaos: delay before the kill")
-	deadline := flag.Duration("deadline", 10*time.Second, "chaos: survivors must observe the failure within this window")
+	killRank := flag.Int("kill-rank", 1, "chaos programs: rank the launcher SIGKILLs")
+	killAfter := flag.Duration("kill-after", 500*time.Millisecond, "chaos programs: delay before the kill")
+	deadline := flag.Duration("deadline", 10*time.Second, "chaos programs: survivors must observe the failure within this window")
 	rank := flag.Int("rank", -1, "internal: this process's rank")
 	addrs := flag.String("addrs", "", "internal: comma-separated mesh addresses")
 	flag.Parse()
 
-	if *prog != "demo" && *prog != "chaos" {
-		fmt.Fprintf(os.Stderr, "unknown -prog %q (want demo or chaos)\n", *prog)
+	p, ok := programs[*prog]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -prog %q (want one of: %s)\n", *prog, progNames())
+		os.Exit(2)
+	}
+	if p.killsRank && (*killRank < 0 || *killRank >= *np) {
+		fmt.Fprintf(os.Stderr, "-kill-rank %d outside job of %d ranks\n", *killRank, *np)
 		os.Exit(2)
 	}
 	if *rank < 0 {
-		launch(*np, *workers, *prog, *tracePrefix, *killRank, *killAfter, *deadline)
+		launch(*np, *workers, *prog, p, *tracePrefix, *killRank, *killAfter, *deadline)
 		return
 	}
 
-	body := demo
-	if *prog == "chaos" {
-		if *killRank < 0 || *killRank >= *np {
-			fmt.Fprintf(os.Stderr, "-kill-rank %d outside job of %d ranks\n", *killRank, *np)
-			os.Exit(2)
-		}
-		body = chaosProg(*killRank, *deadline)
-	}
+	body := p.body(progOpts{np: *np, killRank: *killRank, deadline: *deadline})
 	cfg := hcmpi.Config{Workers: *workers}
 	if *tracePrefix != "" {
 		cfg.Tracer = hcmpi.NewTracer()
@@ -84,10 +90,10 @@ func main() {
 	}
 }
 
-// launch allocates ports, spawns np children, and waits for them. In
-// chaos mode it SIGKILLs killRank after killAfter and expects every
-// survivor to exit cleanly anyway.
-func launch(np, workers int, prog, tracePrefix string, killRank int, killAfter, deadline time.Duration) {
+// launch allocates ports, spawns np children, and waits for them. For a
+// killsRank program it SIGKILLs killRank after killAfter and expects
+// every survivor to exit cleanly anyway.
+func launch(np, workers int, progName string, p program, tracePrefix string, killRank int, killAfter, deadline time.Duration) {
 	addrs := make([]string, np)
 	lns := make([]net.Listener, np)
 	for i := range addrs {
@@ -107,14 +113,14 @@ func launch(np, workers int, prog, tracePrefix string, killRank int, killAfter, 
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("launching %d processes, %d workers each (prog=%s)\n", np, workers, prog)
+	fmt.Printf("launching %d processes, %d workers each (prog=%s)\n", np, workers, progName)
 	procs := make([]*exec.Cmd, np)
 	for r := 0; r < np; r++ {
 		cmd := exec.Command(self,
 			"-rank", fmt.Sprint(r),
 			"-addrs", strings.Join(addrs, ","),
 			"-workers", fmt.Sprint(workers),
-			"-prog", prog,
+			"-prog", progName,
 			"-trace", tracePrefix,
 			"-kill-rank", fmt.Sprint(killRank),
 			"-deadline", deadline.String())
@@ -126,19 +132,19 @@ func launch(np, workers int, prog, tracePrefix string, killRank int, killAfter, 
 		}
 		procs[r] = cmd
 	}
-	if prog == "chaos" {
+	if p.killsRank {
 		time.Sleep(killAfter)
-		fmt.Printf("chaos: killing rank %d (pid %d)\n", killRank, procs[killRank].Process.Pid)
+		fmt.Printf("%s: killing rank %d (pid %d)\n", progName, killRank, procs[killRank].Process.Pid)
 		if err := procs[killRank].Process.Kill(); err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: kill: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: kill: %v\n", progName, err)
 		}
 	}
 	fail := false
-	for r, p := range procs {
-		err := p.Wait()
-		if prog == "chaos" && r == killRank {
+	for r, proc := range procs {
+		err := proc.Wait()
+		if p.killsRank && r == killRank {
 			if err == nil {
-				fmt.Fprintln(os.Stderr, "chaos: victim exited cleanly before the kill landed")
+				fmt.Fprintf(os.Stderr, "%s: victim exited cleanly before the kill landed\n", progName)
 				fail = true
 			}
 			continue // killed by us: expected
@@ -151,93 +157,9 @@ func launch(np, workers int, prog, tracePrefix string, killRank int, killAfter, 
 	if fail {
 		os.Exit(1)
 	}
-	if prog == "chaos" {
-		fmt.Println("chaos complete: all survivors observed the rank failure")
+	if p.killsRank {
+		fmt.Printf("%s complete: all survivors observed the rank failure\n", progName)
 	} else {
 		fmt.Println("job complete")
 	}
-}
-
-// demo: ring p2p, a collective, and one-sided puts — across processes.
-func demo(n *hcmpi.Node, ctx *hcmpi.Ctx) {
-	me, p := n.Rank(), n.Size()
-
-	// Ring exchange.
-	next, prev := (me+1)%p, (me+p-1)%p
-	req := n.IrecvBytes(prev, 1)
-	n.Isend([]byte(fmt.Sprintf("hello from pid %d rank %d", os.Getpid(), me)), next, 1)
-	st := n.Wait(ctx, req)
-	fmt.Printf("rank %d (pid %d) received: %q\n", me, os.Getpid(), st.Payload)
-
-	// Allreduce across processes.
-	sum := n.Allreduce(ctx, encode(int64(me+1)), hcmpi.Int64, hcmpi.OpSum)
-	if me == 0 {
-		fmt.Printf("allreduce over %d processes: %d\n", p, decode(sum))
-	}
-
-	// One-sided puts into every peer's window.
-	buf := make([]byte, p)
-	win := n.WinCreate(ctx, buf)
-	for t := 0; t < p; t++ {
-		win.Put([]byte{byte(me + 1)}, t, me)
-	}
-	win.Fence(ctx)
-	for r := 0; r < p; r++ {
-		if buf[r] != byte(r+1) {
-			fmt.Fprintf(os.Stderr, "rank %d: RMA slot %d = %d\n", me, r, buf[r])
-			os.Exit(1)
-		}
-	}
-	if me == 0 {
-		fmt.Println("one-sided puts verified on every process")
-	}
-}
-
-// chaosProg builds the fail-stop exercise: after a warm-up collective
-// the victim leaves the collective schedule and waits for the
-// launcher's SIGKILL, while the survivors enter a barrier that still
-// includes it. That barrier can only complete through the failure
-// path, after which each survivor asserts that operations against the
-// dead rank fail fast with ErrRankFailed.
-func chaosProg(victim int, deadline time.Duration) func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
-	return func(n *hcmpi.Node, ctx *hcmpi.Ctx) {
-		me := n.Rank()
-		n.Barrier(ctx) // everyone up, mesh fully connected
-		if me == victim {
-			fmt.Printf("chaos: victim rank %d (pid %d) awaiting kill\n", me, os.Getpid())
-			select {} // hold the rank open until SIGKILL
-		}
-		watchdog := time.AfterFunc(deadline, func() {
-			fmt.Fprintf(os.Stderr, "chaos: rank %d: deadline %v expired without observing the failure\n", me, deadline)
-			os.Exit(3)
-		})
-		defer watchdog.Stop()
-
-		// Mid-collective when the kill lands: the victim never joins, so
-		// this unblocks only once the transport declares it failed.
-		n.Barrier(ctx)
-
-		st := n.Wait(ctx, n.Isend([]byte{1}, victim, 9))
-		if st.Err != hcmpi.ErrRankFailed {
-			fmt.Fprintf(os.Stderr, "chaos: rank %d: send to dead rank returned %v, want ErrRankFailed\n", me, st.Err)
-			os.Exit(4)
-		}
-		fmt.Printf("chaos: rank %d observed ErrRankFailed for rank %d\n", me, victim)
-	}
-}
-
-func encode(x int64) []byte {
-	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(x >> (8 * i))
-	}
-	return b
-}
-
-func decode(b []byte) int64 {
-	var x int64
-	for i := 0; i < 8; i++ {
-		x |= int64(b[i]) << (8 * i)
-	}
-	return x
 }

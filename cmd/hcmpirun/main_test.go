@@ -4,6 +4,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,60 @@ func TestChaosRankKill(t *testing.T) {
 		}
 	}
 	if !strings.Contains(string(out), "chaos complete") {
+		t.Errorf("launcher did not report success:\n%s", out)
+	}
+}
+
+// TestDistStealSmoke runs the uts-dist program across 4 real OS
+// processes: the whole tree starts on rank 0, and every other rank must
+// end the run having imported stolen tasks, with the global node count
+// matching the sequential ground truth (verified in-process by rank 0).
+func TestDistStealSmoke(t *testing.T) {
+	bin := buildHcmpirun(t)
+	out, err := exec.Command(bin, "-np", "4", "-workers", "2",
+		"-prog", "uts-dist").CombinedOutput()
+	if err != nil {
+		t.Fatalf("uts-dist run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "uts-dist: T1Big complete") {
+		t.Errorf("missing completion line:\n%s", out)
+	}
+	re := regexp.MustCompile(`uts-dist: rank (\d) nodes=\d+ migrated_in=(\d+)`)
+	migrated := map[string]int{}
+	for _, m := range re.FindAllStringSubmatch(string(out), -1) {
+		n, _ := strconv.Atoi(m[2])
+		migrated[m[1]] = n
+	}
+	for _, r := range []string{"0", "1", "2", "3"} {
+		got, ok := migrated[r]
+		if !ok {
+			t.Errorf("no report line from rank %s:\n%s", r, out)
+			continue
+		}
+		if r != "0" && got == 0 {
+			t.Errorf("rank %s imported no stolen tasks:\n%s", r, out)
+		}
+	}
+}
+
+// TestDistChaosRankKill SIGKILLs the rank every other rank is stealing
+// from and asserts each survivor's Scheduler.Run aborts with
+// ErrRankFailed instead of hanging in the termination ring.
+func TestDistChaosRankKill(t *testing.T) {
+	bin := buildHcmpirun(t)
+	out, err := exec.Command(bin, "-np", "4", "-workers", "2",
+		"-prog", "dist-chaos", "-kill-rank", "1",
+		"-kill-after", "500ms", "-deadline", "20s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dist-chaos run: %v\n%s", err, out)
+	}
+	for _, survivor := range []string{"0", "2", "3"} {
+		want := "dist-chaos: rank " + survivor + " observed ErrRankFailed"
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(string(out), "dist-chaos complete") {
 		t.Errorf("launcher did not report success:\n%s", out)
 	}
 }

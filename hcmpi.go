@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"hcmpi/internal/dddf"
+	"hcmpi/internal/distsched"
 	"hcmpi/internal/hc"
 	"hcmpi/internal/hcmpi"
 	"hcmpi/internal/mpi"
@@ -95,6 +96,21 @@ type (
 	// Metrics is the unified named-counter registry; every Node exposes
 	// one via Node.Metrics().
 	Metrics = trace.Metrics
+	// DistScheduler is the runtime-level distributed work-stealing
+	// scheduler: register migratable task kinds, submit seeds, and Run
+	// drives every rank to global termination (Safra's algorithm).
+	DistScheduler = distsched.Scheduler
+	// DistConfig parameterizes a DistScheduler (victim policy, steal
+	// batch bound, steal retry timeout).
+	DistConfig = distsched.Config
+	// DistTaskCtx is the execution context handed to migratable task
+	// handlers.
+	DistTaskCtx = distsched.TaskCtx
+	// DistStats is a point-in-time snapshot of one rank's distributed
+	// scheduling counters.
+	DistStats = distsched.Stats
+	// DistPolicy chooses victim ranks for remote steals.
+	DistPolicy = distsched.Policy
 )
 
 // Phaser registration modes and barrier flavours.
@@ -150,6 +166,24 @@ func NewTracer() *Tracer { return trace.New(trace.Config{}) }
 // NewMetrics creates an empty counter registry — handy for aggregating
 // several ranks' Node.Metrics() with Metrics.Merge.
 func NewMetrics() *Metrics { return trace.NewMetrics() }
+
+// NewDistScheduler attaches a distributed work-stealing scheduler to a
+// node. Create it before Node.Main (it installs communication-worker
+// listeners), then call Run from inside the main task on every rank.
+func NewDistScheduler(n *Node, cfg DistConfig) *DistScheduler {
+	return distsched.New(n, cfg)
+}
+
+// Victim-selection policies for DistConfig.Policy.
+var (
+	// DistRandomPolicy picks uniform random victims (the default).
+	DistRandomPolicy = distsched.RandomPolicy
+	// DistRoundRobinPolicy cycles deterministically through the peers.
+	DistRoundRobinPolicy = distsched.RoundRobinPolicy
+	// DistLoadGossipPolicy prefers the peer with the highest load
+	// estimate gossiped on steal traffic.
+	DistLoadGossipPolicy = distsched.LoadGossipPolicy
+)
 
 // AsyncPhased spawns a task registered on a phaser (async phased(ph)).
 var AsyncPhased = hcmpi.AsyncPhased

@@ -1,0 +1,729 @@
+// Package distsched is the runtime's distributed load-balancing plane:
+// a generic scheduler that lets any hcmpi program declare migratable
+// tasks — a serializable closure descriptor plus payload — which idle
+// ranks steal over the existing MPI transports.
+//
+// The design extends the paper's intra-node work-first scheduler across
+// ranks. Each rank runs one driver per computation worker; drivers
+// execute frames from per-driver deques, steal-half from intra-node
+// peers (deque.StealBatch semantics), and — only when the whole rank
+// is dry — issue a remote steal through the communication worker. All
+// protocol traffic (steal request/grant/deny, the termination token,
+// and the shutdown broadcast) is serviced by hcmpi listener tasks on
+// the communication worker's adaptive-parking poll loop; there is no
+// second progress thread. Global quiescence is proven by a Safra-style
+// token ring (see termination.go) exposed as Barrier.
+//
+// Fail-stop: every protocol send is tracked, and a terminal error —
+// mpi.ErrRankFailed from a dead peer, or a timeout/drop surfaced by the
+// communication worker — aborts the job on every surviving rank, whose
+// Run returns an error satisfying errors.Is(err, mpi.ErrRankFailed).
+// Frames are never executed twice: a migrated frame exists on exactly
+// one rank (removed from the victim before the grant is sent), and on
+// abort undispatched frames are counted as dropped rather than silently
+// lost.
+package distsched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcmpi/internal/bufpool"
+	"hcmpi/internal/deque"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/trace"
+)
+
+// Handler executes one migratable task. The payload is valid only for
+// the duration of the call (migrated payloads live in pooled buffers
+// that are recycled when the handler returns); a handler that needs the
+// bytes afterwards must copy them.
+type Handler func(tc *TaskCtx, payload []byte)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Policy selects steal victims; default RandomPolicy.
+	Policy Policy
+	// MaxBatch caps the frames moved by one steal grant; the victim
+	// yields min(MaxBatch, half its queued frames), mirroring the local
+	// deque.StealBatch steal-half rule. Default 16.
+	MaxBatch int
+	// StealTimeout re-arms an unanswered remote steal: after this long
+	// without a grant or deny the thief probes a fresh victim (the
+	// original reply, if it ever arrives, is still honored). Default
+	// 2ms; negative disables re-arming.
+	StealTimeout time.Duration
+	// Pool stages migrated payloads; default a private pool. Sharing
+	// one pool across schedulers in-process amortizes warm buffers.
+	Pool *bufpool.Pool
+}
+
+// Scheduler is one rank's view of the distributed load-balancing
+// plane. Create with New before Node.Main, register every migratable
+// task kind (identical order on all ranks — the kind index is the wire
+// descriptor), seed work with Submit, then drive with Run inside the
+// node's main task. One Scheduler per Node: the protocol listeners
+// live until the node closes.
+type Scheduler struct {
+	node *hcmpi.Node
+	cfg  Config
+	pool *bufpool.Pool
+
+	kinds     []Handler
+	kindIndex map[string]uint16
+	running   atomic.Bool
+
+	local    []*deque.Deque[frame] // per-driver deques, remote-stealable
+	incoming *deque.Stack[frame]   // migrated frames parked by the listener
+	inject   *deque.Stack[frame]   // Submit'ed seed frames
+
+	idle        atomic.Int32
+	exporting   atomic.Int32 // listener mid-harvest: blocks quiescence probes
+	outstanding atomic.Bool  // a remote steal is in flight
+	stealSince  atomic.Int64
+	done        atomic.Bool
+
+	bar *Barrier
+
+	alive     []atomic.Bool
+	tokenOnce sync.Mutex // serializes Advance side effects
+
+	pendMu  sync.Mutex
+	pending []pendingSend
+
+	errMu sync.Mutex
+	err   error
+
+	seq         atomic.Int64
+	searchNanos atomic.Int64
+
+	ring *trace.Ring
+	ctr  counters
+}
+
+type pendingSend struct {
+	req  *hcmpi.Request
+	peer int
+}
+
+// counters are the dist_* metrics on the node's unified registry.
+type counters struct {
+	reqSent, reqRecv           *trace.Counter
+	grantsIn, grantsOut        *trace.Counter
+	deniesIn, deniesOut        *trace.Counter
+	migrated, exported         *trace.Counter
+	spawned, executed, dropped *trace.Counter
+	localSteals                *trace.Counter
+	termRounds                 *trace.Counter
+	rankFailures               *trace.Counter
+}
+
+// New creates the scheduler for a node and installs its protocol
+// listeners on the communication worker. Call before Node.Main (or
+// from the main task; listener installation is synchronous either way).
+func New(n *hcmpi.Node, cfg Config) *Scheduler {
+	if cfg.Policy == nil {
+		cfg.Policy = RandomPolicy()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.StealTimeout == 0 {
+		cfg.StealTimeout = 2 * time.Millisecond
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = bufpool.New()
+	}
+	s := &Scheduler{
+		node:      n,
+		cfg:       cfg,
+		pool:      cfg.Pool,
+		kindIndex: map[string]uint16{},
+		incoming:  deque.NewStack[frame](),
+		inject:    deque.NewStack[frame](),
+		bar:       NewBarrier(n.Rank(), n.Size()),
+		alive:     make([]atomic.Bool, n.Size()),
+	}
+	s.local = make([]*deque.Deque[frame], n.Workers())
+	for i := range s.local {
+		s.local[i] = deque.NewDeque[frame]()
+	}
+	for i := range s.alive {
+		s.alive[i].Store(true)
+	}
+	s.ring = n.Tracer().Register(n.Rank(), n.Workers()+2, "distsched", trace.TrackDist)
+	m := n.Metrics()
+	s.ctr = counters{
+		reqSent:      m.Counter("dist_steal_req_sent"),
+		reqRecv:      m.Counter("dist_steal_req_recv"),
+		grantsIn:     m.Counter("dist_steal_grants_in"),
+		grantsOut:    m.Counter("dist_steal_grants_out"),
+		deniesIn:     m.Counter("dist_steal_denies_in"),
+		deniesOut:    m.Counter("dist_steal_denies_out"),
+		migrated:     m.Counter("dist_steal_tasks_migrated"),
+		exported:     m.Counter("dist_steal_tasks_exported"),
+		spawned:      m.Counter("dist_tasks_spawned"),
+		executed:     m.Counter("dist_tasks_executed"),
+		dropped:      m.Counter("dist_tasks_dropped"),
+		localSteals:  m.Counter("dist_local_steals"),
+		termRounds:   m.Counter("dist_term_rounds"),
+		rankFailures: m.Counter("dist_rank_failures"),
+	}
+	n.Listen(tagStealReq, s.onStealReq)
+	n.Listen(tagStealGrant, s.onGrant)
+	n.Listen(tagStealDeny, s.onDeny)
+	n.Listen(tagToken, s.onToken)
+	n.Listen(tagDone, s.onDone)
+	return s
+}
+
+// Node returns the scheduler's HCMPI node.
+func (s *Scheduler) Node() *hcmpi.Node { return s.node }
+
+// Register declares a migratable task kind. Every rank must register
+// the same kinds in the same order before Run — the registration index
+// is the frame's wire descriptor. Registering after Run panics.
+func (s *Scheduler) Register(kind string, h Handler) {
+	if s.running.Load() {
+		panic("distsched: Register after Run")
+	}
+	if _, dup := s.kindIndex[kind]; dup {
+		panic("distsched: duplicate kind " + kind)
+	}
+	s.kindIndex[kind] = uint16(len(s.kinds))
+	s.kinds = append(s.kinds, h)
+}
+
+// Submit seeds a task before Run (typically on the rank that owns the
+// root of the computation). The payload is caller-owned and must not be
+// mutated until the job completes.
+func (s *Scheduler) Submit(kind string, payload []byte) {
+	idx, ok := s.kindIndex[kind]
+	if !ok {
+		panic("distsched: Submit of unregistered kind " + kind)
+	}
+	s.ctr.spawned.Add(1)
+	s.inject.Push(&frame{id: s.nextID(), kind: idx, payload: payload})
+}
+
+func (s *Scheduler) nextID() int64 {
+	return int64(s.node.Rank())<<frameIDRankShift | s.seq.Add(1)
+}
+
+// TaskCtx is a handler's execution context.
+type TaskCtx struct {
+	s   *Scheduler
+	wid int
+	rng *rand.Rand
+}
+
+// Rank returns the executing rank.
+func (tc *TaskCtx) Rank() int { return tc.s.node.Rank() }
+
+// Worker returns the executing driver's worker id, a stable index in
+// [0, Node.Workers()) — handlers key worker-local state off it.
+func (tc *TaskCtx) Worker() int { return tc.wid }
+
+// Spawn makes a new migratable task visible to local peers and remote
+// thieves. The payload is owned by the scheduler from this point on.
+func (tc *TaskCtx) Spawn(kind string, payload []byte) {
+	s := tc.s
+	idx, ok := s.kindIndex[kind]
+	if !ok {
+		panic("distsched: Spawn of unregistered kind " + kind)
+	}
+	s.ctr.spawned.Add(1)
+	s.local[tc.wid].Push(&frame{id: s.nextID(), kind: idx, payload: payload})
+}
+
+// Run executes until global termination (every rank quiescent, proven
+// by the token ring) or job abort, and returns nil or the abort error.
+// All ranks must call it (SPMD), from inside Node.Main's task context.
+func (s *Scheduler) Run(ctx *hc.Ctx) error {
+	s.running.Store(true)
+	nw := len(s.local)
+	ctx.Finish(func(ctx *hc.Ctx) {
+		for wid := 0; wid < nw; wid++ {
+			wid := wid
+			ctx.AsyncAt(wid, func(*hc.Ctx) { s.drive(wid) })
+		}
+	})
+	s.drainAbandoned()
+	return s.Err()
+}
+
+// Err returns the job's abort error, if any (nil after clean
+// termination). After a peer died it satisfies
+// errors.Is(err, mpi.ErrRankFailed).
+func (s *Scheduler) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Scheduler) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Stats is a point-in-time copy of the scheduler's counters.
+type Stats struct {
+	Spawned, Executed, Dropped   int64
+	StealReqsSent, StealReqsRecv int64
+	GrantsIn, GrantsOut          int64
+	DeniesIn, DeniesOut          int64
+	MigratedIn, MigratedOut      int64
+	LocalSteals                  int64
+	TermRounds                   int64
+	RankFailures                 int64
+	Search                       time.Duration // drivers' cumulative idle-search time
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Spawned:       s.ctr.spawned.Load(),
+		Executed:      s.ctr.executed.Load(),
+		Dropped:       s.ctr.dropped.Load(),
+		StealReqsSent: s.ctr.reqSent.Load(),
+		StealReqsRecv: s.ctr.reqRecv.Load(),
+		GrantsIn:      s.ctr.grantsIn.Load(),
+		GrantsOut:     s.ctr.grantsOut.Load(),
+		DeniesIn:      s.ctr.deniesIn.Load(),
+		DeniesOut:     s.ctr.deniesOut.Load(),
+		MigratedIn:    s.ctr.migrated.Load(),
+		MigratedOut:   s.ctr.exported.Load(),
+		LocalSteals:   s.ctr.localSteals.Load(),
+		TermRounds:    s.ctr.termRounds.Load(),
+		RankFailures:  s.ctr.rankFailures.Load(),
+		Search:        time.Duration(s.searchNanos.Load()),
+	}
+}
+
+// --- driver loops (computation workers) ---
+
+// drive is one worker's scheduling loop: local deque, migrated work,
+// seed queue, intra-node steal-half, then — rank dry — the idle path:
+// remote steal, protocol-failure sweep, termination token.
+func (s *Scheduler) drive(wid int) {
+	tc := &TaskCtx{s: s, wid: wid,
+		rng: rand.New(rand.NewSource(int64(s.node.Rank()*1009+wid)*6151 + 17))}
+	idle := false
+	setIdle := func(b bool) {
+		if b != idle {
+			idle = b
+			if b {
+				s.idle.Add(1)
+			} else {
+				s.idle.Add(-1)
+			}
+		}
+	}
+	idleRounds := 0
+	for !s.done.Load() {
+		if f, ok := s.local[wid].Pop(); ok {
+			setIdle(false)
+			idleRounds = 0
+			s.exec(tc, f)
+			continue
+		}
+		if f, ok := s.incoming.Pop(); ok {
+			setIdle(false)
+			idleRounds = 0
+			s.exec(tc, f)
+			continue
+		}
+		if f, ok := s.inject.Pop(); ok {
+			setIdle(false)
+			idleRounds = 0
+			s.exec(tc, f)
+			continue
+		}
+		if f, ok := s.stealLocal(wid, tc.rng); ok {
+			setIdle(false)
+			idleRounds = 0
+			s.exec(tc, f)
+			continue
+		}
+
+		// Rank-local work exhausted: join the idle census as a level
+		// signal, then look outward.
+		t0 := time.Now()
+		setIdle(true)
+		if s.node.Size() == 1 {
+			if s.quiescent() {
+				s.done.Store(true)
+			}
+		} else {
+			s.sweepPending()
+			s.maybeSteal(tc.rng)
+			s.tryToken()
+		}
+		// Spin-then-park, like the comm worker: yield for the first idle
+		// rounds (a grant or spill may land any microsecond; sleeping here
+		// costs ~1ms of reaction latency at kernel timer granularity),
+		// then park once the rank looks durably dry.
+		idleRounds++
+		if idleRounds < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+		s.searchNanos.Add(int64(time.Since(t0)))
+	}
+	setIdle(false)
+}
+
+func (s *Scheduler) exec(tc *TaskCtx, f *frame) {
+	h := s.kinds[f.kind]
+	h(tc, f.payload)
+	if f.pooled {
+		s.pool.Put(f.payload)
+	}
+	s.ctr.executed.Add(1)
+}
+
+// stealLocal moves half a peer driver's deque into ours (StealBatch)
+// and returns the first stolen frame.
+func (s *Scheduler) stealLocal(wid int, rng *rand.Rand) (*frame, bool) {
+	nw := len(s.local)
+	if nw < 2 {
+		return nil, false
+	}
+	start := rng.Intn(nw)
+	for i := 0; i < nw; i++ {
+		v := (start + i) % nw
+		if v == wid {
+			continue
+		}
+		if f, _, ok := s.local[v].StealBatch(s.local[wid]); ok {
+			s.ctr.localSteals.Add(1)
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// maybeSteal issues (or re-arms) the rank's single outstanding remote
+// steal. One steal in flight per rank matches the paper's UTS port;
+// re-arming after StealTimeout keeps the thief live when a victim's
+// reply is slow or lost — a late reply is still honored, and duplicate
+// grants are impossible because frames leave the victim exactly once.
+func (s *Scheduler) maybeSteal(rng *rand.Rand) {
+	now := time.Now().UnixNano()
+	if s.outstanding.CompareAndSwap(false, true) {
+		s.stealSince.Store(now)
+		s.issueSteal(rng)
+		return
+	}
+	if to := s.cfg.StealTimeout; to > 0 {
+		since := s.stealSince.Load()
+		if now-since > int64(to) && s.stealSince.CompareAndSwap(since, now) {
+			s.issueSteal(rng)
+		}
+	}
+}
+
+func (s *Scheduler) issueSteal(rng *rand.Rand) {
+	v := s.cfg.Policy.Pick(s.node.Rank(), s.node.Size(), rng, s.isAlive)
+	if v < 0 {
+		s.outstanding.Store(false)
+		return
+	}
+	s.ctr.reqSent.Add(1)
+	s.ring.Emit(trace.EvDistStealReq, int64(v), 0)
+	s.track(s.node.SendReserved(nil, v, tagStealReq), v)
+}
+
+func (s *Scheduler) isAlive(r int) bool {
+	return r >= 0 && r < len(s.alive) && s.alive[r].Load()
+}
+
+// track records a protocol send so drivers can sweep it for terminal
+// errors (fail-stop detection rides on the protocol's own traffic).
+func (s *Scheduler) track(req *hcmpi.Request, peer int) {
+	s.pendMu.Lock()
+	s.pending = append(s.pending, pendingSend{req: req, peer: peer})
+	s.pendMu.Unlock()
+}
+
+// sweepPending tests tracked protocol sends; a terminal error condemns
+// the peer and aborts the job.
+func (s *Scheduler) sweepPending() {
+	var failed []pendingSend
+	s.pendMu.Lock()
+	live := s.pending[:0]
+	for _, p := range s.pending {
+		st, ok := p.req.Test()
+		if !ok {
+			live = append(live, p)
+			continue
+		}
+		if st.Err != nil {
+			failed = append(failed, p)
+		}
+	}
+	s.pending = live
+	s.pendMu.Unlock()
+	for _, p := range failed {
+		st, _ := p.req.Test()
+		s.fail(p.peer, st.Err)
+	}
+}
+
+// fail implements fail-stop: first observer of a dead (or unreachable)
+// peer marks it, poisons the job locally, and broadcasts the abort so
+// every surviving rank resolves promptly instead of waiting out its own
+// detection. Work already migrated to the dead rank is lost with it —
+// by design; the job-level error is the accounting.
+func (s *Scheduler) fail(peer int, cause error) {
+	if peer < 0 || peer >= len(s.alive) || !s.alive[peer].CompareAndSwap(true, false) {
+		return
+	}
+	s.ctr.rankFailures.Add(1)
+	s.bar.RankFailed(peer)
+	s.ring.Emit(trace.EvDistDone, int64(peer), 1)
+	s.setErr(fmt.Errorf("distsched: rank %d unreachable (%v): %w", peer, cause, mpi.ErrRankFailed))
+	for r := 0; r < s.node.Size(); r++ {
+		if r != s.node.Rank() && s.isAlive(r) {
+			// Best effort, untracked: the recipients are condemned anyway.
+			s.node.SendReserved(encodeDone(doneFailed, peer), r, tagDone)
+		}
+	}
+	s.done.Store(true)
+}
+
+// --- quiescence & termination ---
+
+// quiescent reports whether this rank holds no executable work: every
+// driver idle (the caller being one of them), nothing migrated or
+// seeded waiting, every local deque empty, and no listener mid-export.
+// An outstanding remote steal does NOT block quiescence — idle ranks
+// steal continuously, and the Safra deficit covers in-flight work.
+func (s *Scheduler) quiescent() bool {
+	if int(s.idle.Load()) != len(s.local) {
+		return false
+	}
+	if s.exporting.Load() != 0 {
+		return false
+	}
+	if s.incoming.Size() > 0 || s.inject.Size() > 0 {
+		return false
+	}
+	for _, d := range s.local {
+		if !d.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// tryToken drives the termination ring from an idle driver.
+func (s *Scheduler) tryToken() {
+	s.tokenOnce.Lock()
+	defer s.tokenOnce.Unlock()
+	if s.done.Load() {
+		return
+	}
+	act, tok, next := s.bar.Advance(s.quiescent())
+	switch act {
+	case ActionForward:
+		if s.node.Rank() == 0 {
+			s.ctr.termRounds.Add(1)
+		}
+		s.ring.Emit(trace.EvDistToken, int64(next), 0)
+		s.track(s.node.SendReserved(tok, next, tagToken), next)
+	case ActionTerminate:
+		s.ring.Emit(trace.EvDistDone, 0, 0)
+		for r := 0; r < s.node.Size(); r++ {
+			if r != s.node.Rank() && s.isAlive(r) {
+				s.node.SendReserved(encodeDone(doneClean, -1), r, tagDone)
+			}
+		}
+		s.done.Store(true)
+	}
+}
+
+// drainAbandoned counts (and recycles) frames left queued after an
+// abort, preserving the per-rank conservation invariant
+// spawned + migratedIn == executed + migratedOut + dropped.
+// Drivers have exited, so this goroutine is the deques' sole owner.
+func (s *Scheduler) drainAbandoned() {
+	n := int64(0)
+	take := func(f *frame) {
+		if f.pooled {
+			s.pool.Put(f.payload)
+		}
+		n++
+	}
+	for _, d := range s.local {
+		for {
+			f, ok := d.Pop()
+			if !ok {
+				break
+			}
+			take(f)
+		}
+	}
+	for {
+		f, ok := s.incoming.Pop()
+		if !ok {
+			break
+		}
+		take(f)
+	}
+	for {
+		f, ok := s.inject.Pop()
+		if !ok {
+			break
+		}
+		take(f)
+	}
+	if n > 0 {
+		s.ctr.dropped.Add(n)
+	}
+}
+
+// --- listener callbacks (communication worker) ---
+
+// onStealReq answers a remote thief: steal-half of this rank's queued
+// frames (capped at MaxBatch), or a deny. The exporting census makes
+// the harvest atomic with the Safra WorkSent with respect to token
+// quiescence probes — without it a token could slip between "frames
+// removed from the deques" and "deficit incremented" and terminate
+// early.
+func (s *Scheduler) onStealReq(src int, _ []byte) {
+	s.ctr.reqRecv.Add(1)
+	s.cfg.Policy.Observe(src, 0) // requester is starving
+	s.exporting.Add(1)
+	fs, rest := s.harvest()
+	if len(fs) == 0 {
+		s.exporting.Add(-1)
+		s.ctr.deniesOut.Add(1)
+		s.ring.Emit(trace.EvDistDeny, int64(src), int64(rest))
+		s.track(s.node.SendReserved(encodeDeny(rest), src, tagStealDeny), src)
+		return
+	}
+	// Safra: count the work send BEFORE it leaves (and before the
+	// exporting census unblocks quiescence probes).
+	s.bar.WorkSent()
+	s.exporting.Add(-1)
+	s.ctr.grantsOut.Add(1)
+	s.ctr.exported.Add(int64(len(fs)))
+	s.ring.Emit(trace.EvDistStealServe, int64(src), int64(len(fs)))
+	buf := encodeFrames(fs)
+	for _, f := range fs {
+		if f.pooled {
+			s.pool.Put(f.payload)
+		}
+	}
+	s.track(s.node.SendReserved(buf, src, tagStealGrant), src)
+}
+
+// harvest removes up to min(MaxBatch, ceil(total/2)) frames for export:
+// local deques first (oldest frames — the biggest subtrees in
+// divide-and-conquer workloads), then parked migrated/seed work.
+// Returns the batch and the load left behind.
+func (s *Scheduler) harvest() ([]*frame, int) {
+	total := 0
+	for _, d := range s.local {
+		total += d.Size()
+	}
+	total += s.incoming.Size() + s.inject.Size()
+	if total == 0 || s.done.Load() {
+		return nil, total
+	}
+	want := (total + 1) / 2
+	if want > s.cfg.MaxBatch {
+		want = s.cfg.MaxBatch
+	}
+	fs := make([]*frame, 0, want)
+	for _, d := range s.local {
+		for len(fs) < want {
+			f, ok := d.Steal()
+			if !ok {
+				break
+			}
+			fs = append(fs, f)
+		}
+	}
+	for len(fs) < want {
+		f, ok := s.incoming.Pop()
+		if !ok {
+			break
+		}
+		fs = append(fs, f)
+	}
+	for len(fs) < want {
+		f, ok := s.inject.Pop()
+		if !ok {
+			break
+		}
+		fs = append(fs, f)
+	}
+	return fs, total - len(fs)
+}
+
+// onGrant parks migrated frames for the drivers. Safra receipt rule
+// first — blacken and decrement before any frame becomes executable.
+func (s *Scheduler) onGrant(src int, payload []byte) {
+	s.bar.WorkReceived()
+	fs, err := decodeFrames(payload, s.pool)
+	if err != nil {
+		// A malformed grant means a protocol bug, not a recoverable
+		// condition; poison the job loudly rather than dropping work.
+		s.setErr(err)
+		s.done.Store(true)
+		return
+	}
+	for _, f := range fs {
+		s.incoming.Push(f)
+	}
+	s.ctr.grantsIn.Add(1)
+	s.ctr.migrated.Add(int64(len(fs)))
+	// The victim granted half: assume it kept at least as much.
+	s.cfg.Policy.Observe(src, len(fs))
+	s.ring.Emit(trace.EvDistMigrate, int64(src), int64(len(fs)))
+	s.outstanding.Store(false)
+}
+
+func (s *Scheduler) onDeny(src int, payload []byte) {
+	s.cfg.Policy.Observe(src, decodeDeny(payload))
+	s.ctr.deniesIn.Add(1)
+	s.ring.Emit(trace.EvDistDeny, int64(src), int64(decodeDeny(payload)))
+	s.outstanding.Store(false)
+}
+
+func (s *Scheduler) onToken(src int, payload []byte) {
+	if len(payload) < 9 {
+		return
+	}
+	color, q := DecodeToken(payload)
+	s.ring.Emit(trace.EvDistToken, int64(src), int64(color))
+	s.bar.TokenArrived(color, q)
+}
+
+func (s *Scheduler) onDone(_ int, payload []byte) {
+	status, failedRank := decodeDone(payload)
+	if status == doneFailed {
+		s.ctr.rankFailures.Add(1)
+		if failedRank >= 0 && failedRank < len(s.alive) {
+			s.alive[failedRank].Store(false)
+			s.bar.RankFailed(failedRank)
+		}
+		s.setErr(fmt.Errorf("distsched: rank %d reported failed: %w", failedRank, mpi.ErrRankFailed))
+		s.ring.Emit(trace.EvDistDone, int64(failedRank), 1)
+	} else {
+		s.ring.Emit(trace.EvDistDone, 0, 0)
+	}
+	s.done.Store(true)
+}

@@ -1,0 +1,238 @@
+package distsched
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"hcmpi/internal/bufpool"
+	"hcmpi/internal/hc"
+	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
+	"hcmpi/internal/mpi/mpitest"
+)
+
+// treeFrames is the node count of a complete ternary tree whose root
+// sits at depth `depth` and whose leaves sit at depth 0.
+func treeFrames(depth int) int64 {
+	total, pow := int64(0), int64(1)
+	for i := 0; i <= depth; i++ {
+		total += pow
+		pow *= 3
+	}
+	return total
+}
+
+// spinWork burns a few microseconds of CPU per frame so the tree's
+// lifetime dwarfs a steal round trip — without it a rank drains the
+// whole tree before the first remote request can land.
+func spinWork() {
+	acc := 1
+	for i := 0; i < 8192; i++ {
+		acc = acc*31 + i
+	}
+	if acc == 42 { // defeat dead-code elimination
+		panic("unreachable")
+	}
+}
+
+// runTree executes the synthetic divide-and-conquer workload on one
+// rank: every frame of depth d spawns three frames of depth d-1, and
+// all roots start on rank 0 (maximally imbalanced). spin scales the
+// per-frame CPU cost — higher-latency transports need a longer loaded
+// window for steal requests to land mid-run.
+func runTree(c *mpi.Comm, workers, depth, spin int, cfg Config) (Stats, error) {
+	n := hcmpi.NewNode(c, hcmpi.Config{Workers: workers})
+	s := New(n, cfg)
+	s.Register("node", func(tc *TaskCtx, payload []byte) {
+		for i := 0; i < spin; i++ {
+			spinWork()
+		}
+		if d := payload[0]; d > 0 {
+			for i := 0; i < 3; i++ {
+				tc.Spawn("node", []byte{d - 1})
+			}
+		}
+	})
+	if c.Rank() == 0 {
+		s.Submit("node", []byte{byte(depth)})
+	}
+	var err error
+	n.Main(func(ctx *hc.Ctx) {
+		// Start line: without it, setup skew lets the root rank drain the
+		// whole tree before the thief ranks even come online.
+		n.Barrier(ctx)
+		err = s.Run(ctx)
+	})
+	n.Close()
+	return s.Stats(), err
+}
+
+// TestDistSchedConformance runs the imbalanced tree over every
+// transport backend (netsim and TCP loopback) and asserts exact global
+// frame accounting: the termination detector may never fire early, no
+// frame may be dropped or duplicated, and work must have migrated off
+// the root rank.
+func TestDistSchedConformance(t *testing.T) {
+	const depth, ranks, workers = 8, 3, 2
+	want := treeFrames(depth)
+	for _, b := range mpitest.Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			var mu sync.Mutex
+			stats := map[int]Stats{}
+			errs := map[int]error{}
+			b.Run(t, ranks, func(c *mpi.Comm) {
+				st, err := runTree(c, workers, depth, 4, Config{})
+				mu.Lock()
+				stats[c.Rank()] = st
+				errs[c.Rank()] = err
+				mu.Unlock()
+			})
+			var executed, migrated, dropped int64
+			for r := 0; r < ranks; r++ {
+				if errs[r] != nil {
+					t.Fatalf("rank %d: %v", r, errs[r])
+				}
+				st := stats[r]
+				executed += st.Executed
+				dropped += st.Dropped
+				if r != 0 {
+					migrated += st.MigratedIn
+				}
+				if st.Spawned+st.MigratedIn != st.Executed+st.MigratedOut+st.Dropped {
+					t.Errorf("rank %d conservation: %+v", r, st)
+				}
+			}
+			if executed != want {
+				t.Errorf("executed %d frames, want %d", executed, want)
+			}
+			if dropped != 0 {
+				t.Errorf("dropped %d frames in a clean run", dropped)
+			}
+			if migrated == 0 {
+				t.Error("no frames migrated off the root rank")
+			}
+		})
+	}
+}
+
+// TestDistSchedPolicies runs the same workload under each victim
+// policy; accounting must stay exact regardless of how victims are
+// chosen.
+func TestDistSchedPolicies(t *testing.T) {
+	const depth, ranks = 6, 3
+	want := treeFrames(depth)
+	for _, pc := range []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"random", RandomPolicy},
+		{"round-robin", RoundRobinPolicy},
+		{"load-gossip", LoadGossipPolicy},
+	} {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var executed int64
+			w := mpi.NewWorld(ranks)
+			w.Run(func(c *mpi.Comm) {
+				st, err := runTree(c, 2, depth, 1, Config{Policy: pc.mk()})
+				if err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+				}
+				mu.Lock()
+				executed += st.Executed
+				mu.Unlock()
+			})
+			if executed != want {
+				t.Errorf("executed %d, want %d", executed, want)
+			}
+		})
+	}
+}
+
+// TestDistSchedTerminationStress re-runs the workload many times: an
+// early-firing detector shows up as a short count.
+func TestDistSchedTerminationStress(t *testing.T) {
+	const depth, ranks = 5, 3
+	want := treeFrames(depth)
+	for iter := 0; iter < 10; iter++ {
+		var mu sync.Mutex
+		var executed int64
+		w := mpi.NewWorld(ranks)
+		w.Run(func(c *mpi.Comm) {
+			st, err := runTree(c, 2, depth, 1, Config{})
+			if err != nil {
+				t.Errorf("iter %d rank %d: %v", iter, c.Rank(), err)
+			}
+			mu.Lock()
+			executed += st.Executed
+			mu.Unlock()
+		})
+		if executed != want {
+			t.Fatalf("iter %d: executed %d, want %d", iter, executed, want)
+		}
+	}
+}
+
+// TestDistSchedSingleRank: one rank, no peers — pure local scheduling
+// plus the degenerate termination path.
+func TestDistSchedSingleRank(t *testing.T) {
+	const depth = 6
+	want := treeFrames(depth)
+	w := mpi.NewWorld(1)
+	w.Run(func(c *mpi.Comm) {
+		st, err := runTree(c, 3, depth, 1, Config{})
+		if err != nil {
+			t.Fatalf("err: %v", err)
+		}
+		if st.Executed != want {
+			t.Fatalf("executed %d, want %d", st.Executed, want)
+		}
+		if st.MigratedIn != 0 || st.MigratedOut != 0 {
+			t.Fatalf("phantom migration: %+v", st)
+		}
+	})
+}
+
+// TestFrameCodecRoundTrip checks the grant wire format, including
+// pooled payload staging on the receive side.
+func TestFrameCodecRoundTrip(t *testing.T) {
+	in := []*frame{
+		{id: 1<<frameIDRankShift | 7, kind: 2, payload: []byte("alpha")},
+		{id: 42, kind: 0, payload: nil},
+		{id: 3, kind: 1, payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	pool := bufpool.New()
+	out, err := decodeFrames(encodeFrames(in), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d", len(out))
+	}
+	for i := range in {
+		if out[i].id != in[i].id || out[i].kind != in[i].kind || !bytes.Equal(out[i].payload, in[i].payload) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		if len(out[i].payload) > 0 && !out[i].pooled {
+			t.Fatalf("frame %d payload not staged via pool", i)
+		}
+	}
+	if _, err := decodeFrames([]byte{1, 0, 0, 0, 9}, pool); err == nil {
+		t.Fatal("truncated grant decoded without error")
+	}
+}
+
+func TestDoneAndDenyCodecs(t *testing.T) {
+	if st, r := decodeDone(encodeDone(doneFailed, 3)); st != doneFailed || r != 3 {
+		t.Fatalf("done: %d %d", st, r)
+	}
+	if st, r := decodeDone(encodeDone(doneClean, -1)); st != doneClean || r != -1 {
+		t.Fatalf("done clean: %d %d", st, r)
+	}
+	if got := decodeDeny(encodeDeny(77)); got != 77 {
+		t.Fatalf("deny: %d", got)
+	}
+}

@@ -1,0 +1,125 @@
+package distsched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Victim-selection policies. The scheduler consults its Policy whenever
+// an idle rank decides whom to ask for work; protocol traffic feeds
+// Observe so informed policies can bias future picks. Implementations
+// must be safe for concurrent use — Pick runs on whichever worker won
+// the steal slot while Observe runs on the communication worker.
+
+// Policy chooses steal victims.
+type Policy interface {
+	// Pick returns a live victim rank != self, or -1 when no candidate
+	// exists. alive reports rank liveness; rng is caller-owned.
+	Pick(self, size int, rng *rand.Rand, alive func(int) bool) int
+	// Observe feeds load information gleaned from protocol traffic:
+	// a deny reports the victim's (empty) queue, a grant implies the
+	// victim had at least the granted load, a steal request means the
+	// requester is starving.
+	Observe(rank, load int)
+}
+
+// RandomPolicy picks victims uniformly at random — the classic
+// work-stealing choice (and UTS's): stateless, contention-spreading,
+// and probabilistically complete (every rank, including a dead one
+// awaiting fail-stop detection, is eventually probed).
+func RandomPolicy() Policy { return randomPolicy{} }
+
+type randomPolicy struct{}
+
+func (randomPolicy) Pick(self, size int, rng *rand.Rand, alive func(int) bool) int {
+	if size < 2 {
+		return -1
+	}
+	v := rng.Intn(size - 1)
+	if v >= self {
+		v++
+	}
+	for i := 0; i < size; i++ {
+		c := (v + i) % size
+		if c != self && alive(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+func (randomPolicy) Observe(int, int) {}
+
+// RoundRobinPolicy cycles deterministically through the ring — useful
+// when fairness of victim load matters more than randomness, and in
+// tests that want reproducible steal schedules.
+func RoundRobinPolicy() Policy { return &roundRobinPolicy{} }
+
+type roundRobinPolicy struct{ next atomic.Int64 }
+
+func (p *roundRobinPolicy) Pick(self, size int, _ *rand.Rand, alive func(int) bool) int {
+	if size < 2 {
+		return -1
+	}
+	start := int(p.next.Add(1))
+	for i := 0; i < size; i++ {
+		c := (start + i) % size
+		if c < 0 {
+			c += size
+		}
+		if c != self && alive(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+func (p *roundRobinPolicy) Observe(int, int) {}
+
+// LoadGossipPolicy prefers the rank last believed to hold the most
+// work, learning passively from denies (victim empty), grants (victim
+// loaded), and steal requests (requester starving). Unprobed ranks are
+// treated as maximally loaded so the whole ring gets explored; ties
+// break randomly to avoid convoys onto one victim.
+func LoadGossipPolicy() Policy { return &loadGossipPolicy{loads: map[int]int{}} }
+
+type loadGossipPolicy struct {
+	mu    sync.Mutex
+	loads map[int]int
+}
+
+func (p *loadGossipPolicy) Pick(self, size int, rng *rand.Rand, alive func(int) bool) int {
+	if size < 2 {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best, bestLoad, nbest := -1, -1, 0
+	for c := 0; c < size; c++ {
+		if c == self || !alive(c) {
+			continue
+		}
+		load, known := p.loads[c]
+		if !known {
+			load = int(^uint(0) >> 1) // unknown: assume loaded, probe it
+		}
+		switch {
+		case load > bestLoad:
+			best, bestLoad, nbest = c, load, 1
+		case load == bestLoad:
+			// Reservoir-sample among ties.
+			nbest++
+			if rng.Intn(nbest) == 0 {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func (p *loadGossipPolicy) Observe(rank, load int) {
+	p.mu.Lock()
+	p.loads[rank] = load
+	p.mu.Unlock()
+}

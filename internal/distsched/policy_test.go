@@ -1,0 +1,92 @@
+package distsched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func allAlive(int) bool { return true }
+
+func TestRandomPolicyNeverPicksSelfOrDead(t *testing.T) {
+	p := RandomPolicy()
+	rng := rand.New(rand.NewSource(1))
+	dead := map[int]bool{2: true}
+	alive := func(r int) bool { return !dead[r] }
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := p.Pick(0, 4, rng, alive)
+		if v == 0 || v == 2 || v < 0 || v > 3 {
+			t.Fatalf("picked %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("not all live victims probed: %v", seen)
+	}
+	if v := p.Pick(0, 1, rng, allAlive); v != -1 {
+		t.Fatalf("size-1 pick: %d", v)
+	}
+}
+
+func TestRandomPolicyNoCandidates(t *testing.T) {
+	p := RandomPolicy()
+	rng := rand.New(rand.NewSource(2))
+	if v := p.Pick(0, 3, rng, func(int) bool { return false }); v != -1 {
+		t.Fatalf("picked dead victim %d", v)
+	}
+}
+
+func TestRoundRobinPolicyCycles(t *testing.T) {
+	p := RoundRobinPolicy()
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int]int{}
+	for i := 0; i < 30; i++ {
+		v := p.Pick(1, 4, rng, allAlive)
+		if v == 1 || v < 0 {
+			t.Fatalf("picked %d", v)
+		}
+		counts[v]++
+	}
+	// A cycling policy spreads picks across all three victims.
+	for _, r := range []int{0, 2, 3} {
+		if counts[r] == 0 {
+			t.Fatalf("victim %d never picked: %v", r, counts)
+		}
+	}
+}
+
+func TestLoadGossipPolicyPrefersLoaded(t *testing.T) {
+	p := LoadGossipPolicy()
+	rng := rand.New(rand.NewSource(4))
+	// All loads known; rank 3 is the heavyweight.
+	p.Observe(1, 0)
+	p.Observe(2, 4)
+	p.Observe(3, 100)
+	for i := 0; i < 20; i++ {
+		if v := p.Pick(0, 4, rng, allAlive); v != 3 {
+			t.Fatalf("picked %d, want 3", v)
+		}
+	}
+	// Rank 3 drains; rank 2 becomes the best bet.
+	p.Observe(3, 0)
+	for i := 0; i < 20; i++ {
+		if v := p.Pick(0, 4, rng, allAlive); v != 2 {
+			t.Fatalf("picked %d, want 2", v)
+		}
+	}
+}
+
+func TestLoadGossipPolicyProbesUnknowns(t *testing.T) {
+	p := LoadGossipPolicy()
+	rng := rand.New(rand.NewSource(5))
+	p.Observe(1, 50)
+	// Rank 2's load is unknown — it must be treated as worth probing
+	// over any known finite load.
+	if v := p.Pick(0, 3, rng, allAlive); v != 2 {
+		t.Fatalf("picked %d, want unprobed rank 2", v)
+	}
+	// Dead ranks are skipped even when unknown.
+	if v := p.Pick(0, 3, rng, func(r int) bool { return r != 2 }); v != 1 {
+		t.Fatalf("picked %d, want 1", v)
+	}
+}

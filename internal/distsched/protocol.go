@@ -1,0 +1,141 @@
+package distsched
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcmpi/internal/bufpool"
+)
+
+// Wire protocol of the distributed scheduler. Five reserved tags, all
+// serviced by the hcmpi communication worker's listener facility — the
+// protocol piggybacks on its adaptive-parking poll loop and never adds
+// a progress thread:
+//
+//	tagStealReq   thief  -> victim  empty            control
+//	tagStealGrant victim -> thief   frames           WORK (Safra-counted)
+//	tagStealDeny  victim -> thief   [load u32]       control
+//	tagToken      ring neighbor     [color, q i64]   control
+//	tagDone       any -> all        [status, rank]   control
+//
+// Only tagStealGrant carries work and participates in termination
+// accounting; everything else is control traffic (see termination.go).
+//
+// The tag block -501..-505 extends the repo's reserved-tag registry
+// (dddf: -201..-203, mpi RMA: -401..-402; the -301..-304 block of the
+// old hand-rolled UTS protocol is retired and stays unused).
+const (
+	tagStealReq   = -501
+	tagStealGrant = -502
+	tagStealDeny  = -503
+	tagToken      = -504
+	tagDone       = -505
+)
+
+// doneClean / doneFailed are tagDone status bytes.
+const (
+	doneClean  = byte(0)
+	doneFailed = byte(1)
+)
+
+// frame is one migratable task: a closure descriptor (the kind index
+// into the scheduler's registration table, identical across ranks by
+// SPMD construction) plus an opaque payload. id is globally unique
+// (rank in the high bits) so chaos tests can assert no frame is ever
+// duplicated.
+type frame struct {
+	id      int64
+	kind    uint16
+	payload []byte
+	pooled  bool // payload came from the scheduler's bufpool
+}
+
+// frameIDRankShift packs the spawning rank into frame ids.
+const frameIDRankShift = 40
+
+// encodeFrames serializes a batch for a steal grant:
+// [count u32] then per frame [id i64][kind u16][plen u32][payload].
+// The wire buffer is freshly allocated — transports may retain a
+// reference to sent buffers, so it is never recycled on the send side.
+func encodeFrames(fs []*frame) []byte {
+	n := 4
+	for _, f := range fs {
+		n += 8 + 2 + 4 + len(f.payload)
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint32(b, uint32(len(fs)))
+	off := 4
+	for _, f := range fs {
+		binary.LittleEndian.PutUint64(b[off:], uint64(f.id))
+		binary.LittleEndian.PutUint16(b[off+8:], f.kind)
+		binary.LittleEndian.PutUint32(b[off+10:], uint32(len(f.payload)))
+		off += 14
+		copy(b[off:], f.payload)
+		off += len(f.payload)
+	}
+	return b
+}
+
+// decodeFrames parses a grant. Frame payloads are copied into buffers
+// drawn from pool (recycled by the scheduler once the frame's handler
+// returns), so the wire buffer is not retained.
+func decodeFrames(b []byte, pool *bufpool.Pool) ([]*frame, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("distsched: grant of %d bytes", len(b))
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	fs := make([]*frame, 0, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		if len(b)-off < 14 {
+			return nil, fmt.Errorf("distsched: truncated frame header at %d", off)
+		}
+		f := &frame{
+			id:   int64(binary.LittleEndian.Uint64(b[off:])),
+			kind: binary.LittleEndian.Uint16(b[off+8:]),
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off+10:]))
+		off += 14
+		if len(b)-off < plen {
+			return nil, fmt.Errorf("distsched: truncated frame payload at %d", off)
+		}
+		if plen > 0 {
+			f.payload = pool.Get(plen)
+			copy(f.payload, b[off:off+plen])
+			f.pooled = true
+		}
+		off += plen
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+// encodeDeny carries the victim's remaining load for gossip policies.
+func encodeDeny(load int) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(load))
+	return b
+}
+
+func decodeDeny(b []byte) int {
+	if len(b) < 4 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(b))
+}
+
+// encodeDone carries the shutdown verdict: clean termination, or a
+// fail-stop abort naming the dead rank.
+func encodeDone(status byte, failedRank int) []byte {
+	b := make([]byte, 5)
+	b[0] = status
+	binary.LittleEndian.PutUint32(b[1:], uint32(int32(failedRank)))
+	return b
+}
+
+func decodeDone(b []byte) (status byte, failedRank int) {
+	if len(b) < 5 {
+		return doneClean, -1
+	}
+	return b[0], int(int32(binary.LittleEndian.Uint32(b[1:])))
+}

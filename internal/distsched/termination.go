@@ -1,0 +1,192 @@
+package distsched
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Distributed termination detection: Safra's extension of Dijkstra's
+// token ring (EWD998), factored out of the UTS ports so any program on
+// the distributed scheduler — and the MPI-everywhere baseline — shares
+// one verified detector.
+//
+// The algorithm, at rank granularity:
+//
+//   - every rank keeps a message deficit (work-carrying messages sent
+//     minus received) and a color; receiving work blackens the rank;
+//   - a token circulates the ring accumulating deficits; a black rank
+//     taints the token as it forwards it;
+//   - rank 0 declares global termination only after a complete round in
+//     which the returning token is white, rank 0 itself is white, and
+//     the accumulated deficit (token + rank 0's own) is zero — i.e. no
+//     rank holds work and no work-carrying message is in flight.
+//
+// Only work-carrying messages count. Steal requests, denials, and the
+// token itself cannot reactivate a passive rank; counting them would
+// livelock the ring, since idle ranks steal continuously.
+
+// Token colors.
+const (
+	tokenWhite = byte(0)
+	tokenBlack = byte(1)
+)
+
+// EncodeToken serializes a termination token: [color, q(8, little
+// endian)].
+func EncodeToken(color byte, q int64) []byte {
+	b := make([]byte, 9)
+	b[0] = color
+	binary.LittleEndian.PutUint64(b[1:], uint64(q))
+	return b
+}
+
+// DecodeToken parses an EncodeToken payload.
+func DecodeToken(b []byte) (color byte, q int64) {
+	return b[0], int64(binary.LittleEndian.Uint64(b[1:]))
+}
+
+// Action is Barrier.Advance's verdict.
+type Action int
+
+const (
+	// ActionNone: keep working (no token held, or not locally quiescent).
+	ActionNone Action = iota
+	// ActionForward: send the returned token payload to the returned rank.
+	ActionForward
+	// ActionTerminate: global quiescence is certain; tell everyone.
+	ActionTerminate
+)
+
+// Barrier is the per-rank state machine of the termination detector. It
+// is safe for concurrent use: listener callbacks record sends, receipts,
+// and token arrivals while worker loops drive Advance. The caller owns
+// the transport — Barrier never touches the network, it only decides.
+type Barrier struct {
+	rank, size int
+
+	mu      sync.Mutex
+	deficit int64 // work messages sent - received
+	color   byte
+	haveTok bool
+	tokCol  byte
+	tokQ    int64
+	round   bool // rank 0: a full accounting round has been initiated
+	rounds  int64
+	failed  []bool
+}
+
+// NewBarrier creates the detector for one rank of a size-rank ring.
+// Rank 0 holds the initial token.
+func NewBarrier(rank, size int) *Barrier {
+	b := &Barrier{rank: rank, size: size, failed: make([]bool, size)}
+	if rank == 0 {
+		b.haveTok = true
+		b.tokCol = tokenWhite
+	}
+	return b
+}
+
+// WorkSent records that a work-carrying message is about to be sent. It
+// MUST be called before the send is issued, and — when the caller is
+// concurrent — inside whatever critical section makes the removal of the
+// work and this accounting atomic with respect to quiescence probes.
+func (b *Barrier) WorkSent() {
+	b.mu.Lock()
+	b.deficit++
+	b.mu.Unlock()
+}
+
+// WorkReceived records receipt of a work-carrying message: decrement the
+// deficit and blacken (the EWD998 receipt rule). It MUST be called
+// before the received work becomes executable.
+func (b *Barrier) WorkReceived() {
+	b.mu.Lock()
+	b.deficit--
+	b.color = tokenBlack
+	b.mu.Unlock()
+}
+
+// TokenArrived stores an arriving token; the next quiescent Advance
+// forwards it.
+func (b *Barrier) TokenArrived(color byte, q int64) {
+	b.mu.Lock()
+	b.haveTok = true
+	b.tokCol = color
+	b.tokQ = q
+	b.mu.Unlock()
+}
+
+// RankFailed excludes a dead rank from the ring and conservatively
+// blackens this rank (any accounting involving the dead rank is
+// suspect). Detection proper is the caller's job; with a rank gone the
+// caller normally aborts rather than waiting for a clean round.
+func (b *Barrier) RankFailed(r int) {
+	b.mu.Lock()
+	if r >= 0 && r < b.size {
+		b.failed[r] = true
+	}
+	b.color = tokenBlack
+	b.mu.Unlock()
+}
+
+// Rounds returns how many accounting rounds rank 0 has initiated.
+func (b *Barrier) Rounds() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rounds
+}
+
+// Advance drives the ring. quiescent must report whether this rank holds
+// no executable work at this instant (the caller's own census). The
+// returned action is ActionForward with a token payload and destination
+// rank, ActionTerminate when rank 0 has proven global quiescence, or
+// ActionNone. Concurrent callers are serialized; once one consumes the
+// token the others see ActionNone.
+func (b *Barrier) Advance(quiescent bool) (Action, []byte, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !quiescent {
+		return ActionNone, nil, -1
+	}
+	next := b.nextLive(b.rank)
+	if b.size == 1 || next == b.rank {
+		// Alone in the ring: local quiescence is global quiescence. This
+		// is checked before the token gate — when every peer is dead the
+		// token may be lost with them.
+		return ActionTerminate, nil, -1
+	}
+	if !b.haveTok {
+		return ActionNone, nil, -1
+	}
+	if b.rank == 0 {
+		if b.round && b.tokCol == tokenWhite && b.color == tokenWhite &&
+			b.tokQ+b.deficit == 0 {
+			return ActionTerminate, nil, -1
+		}
+		// Start a fresh white round with q = 0.
+		b.round = true
+		b.rounds++
+		b.color = tokenWhite
+		b.haveTok = false
+		return ActionForward, EncodeToken(tokenWhite, 0), next
+	}
+	out := b.tokCol
+	if b.color == tokenBlack {
+		out = tokenBlack
+	}
+	b.color = tokenWhite
+	b.haveTok = false
+	return ActionForward, EncodeToken(out, b.tokQ+b.deficit), next
+}
+
+// nextLive returns the nearest live successor of r on the ring, or r
+// itself when every other rank is dead. Caller holds b.mu.
+func (b *Barrier) nextLive(r int) int {
+	for i := 1; i < b.size; i++ {
+		n := (r + i) % b.size
+		if !b.failed[n] {
+			return n
+		}
+	}
+	return r
+}

@@ -1,0 +1,133 @@
+package distsched
+
+import "testing"
+
+// TestBarrierSingleRank: alone in the ring, local quiescence is global.
+func TestBarrierSingleRank(t *testing.T) {
+	b := NewBarrier(0, 1)
+	if act, _, _ := b.Advance(false); act != ActionNone {
+		t.Fatalf("busy rank advanced: %v", act)
+	}
+	if act, _, _ := b.Advance(true); act != ActionTerminate {
+		t.Fatalf("quiescent single rank: %v", act)
+	}
+}
+
+// TestBarrierTokenRoundTrip scripts the classic Safra scenario: work in
+// flight must force extra rounds, and termination only follows a clean
+// white round with zero global deficit.
+func TestBarrierTokenRoundTrip(t *testing.T) {
+	b0 := NewBarrier(0, 2)
+	b1 := NewBarrier(1, 2)
+
+	// Rank 0 sends work to rank 1; the message is in flight.
+	b0.WorkSent()
+
+	// Rank 0 starts a round.
+	act, tok, next := b0.Advance(true)
+	if act != ActionForward || next != 1 {
+		t.Fatalf("round start: %v -> %d", act, next)
+	}
+	// Rank 1 (still unaware of the in-flight work) forwards.
+	c, q := DecodeToken(tok)
+	b1.TokenArrived(c, q)
+	act, tok, next = b1.Advance(true)
+	if act != ActionForward || next != 0 {
+		t.Fatalf("rank 1 forward: %v -> %d", act, next)
+	}
+	// Back at rank 0: its own deficit (+1) is unaccounted for, so the
+	// round MUST NOT terminate.
+	c, q = DecodeToken(tok)
+	b0.TokenArrived(c, q)
+	act, tok, _ = b0.Advance(true)
+	if act == ActionTerminate {
+		t.Fatal("terminated with a work message in flight")
+	}
+	if act != ActionForward {
+		t.Fatalf("expected a fresh round, got %v", act)
+	}
+
+	// The work lands: rank 1 blackens, works, finishes.
+	b1.WorkReceived()
+
+	// Current round: rank 1 is black, so the token comes back black.
+	c, q = DecodeToken(tok)
+	b1.TokenArrived(c, q)
+	act, tok, _ = b1.Advance(true)
+	if act != ActionForward {
+		t.Fatalf("rank 1: %v", act)
+	}
+	if c2, _ := DecodeToken(tok); c2 != tokenBlack {
+		t.Fatal("receipt did not taint the token")
+	}
+	c, q = DecodeToken(tok)
+	b0.TokenArrived(c, q)
+	act, tok, _ = b0.Advance(true)
+	if act == ActionTerminate {
+		t.Fatal("terminated on a black round")
+	}
+
+	// Clean round: all white, deficits cancel (+1 at rank 0, -1 at rank
+	// 1), so this one terminates.
+	c, q = DecodeToken(tok)
+	b1.TokenArrived(c, q)
+	act, tok, _ = b1.Advance(true)
+	if act != ActionForward {
+		t.Fatalf("rank 1 final forward: %v", act)
+	}
+	c, q = DecodeToken(tok)
+	b0.TokenArrived(c, q)
+	act, _, _ = b0.Advance(true)
+	if act != ActionTerminate {
+		t.Fatalf("clean white round did not terminate: %v", act)
+	}
+	if b0.Rounds() < 2 {
+		t.Fatalf("rounds = %d, want >= 2", b0.Rounds())
+	}
+}
+
+// TestBarrierBusyHoldsToken: a non-quiescent rank must sit on the token.
+func TestBarrierBusyHoldsToken(t *testing.T) {
+	b1 := NewBarrier(1, 3)
+	b1.TokenArrived(tokenWhite, 0)
+	if act, _, _ := b1.Advance(false); act != ActionNone {
+		t.Fatalf("busy rank moved the token: %v", act)
+	}
+	if act, _, next := b1.Advance(true); act != ActionForward || next != 2 {
+		t.Fatalf("idle rank: %v -> %d", act, next)
+	}
+}
+
+// TestBarrierRingSkipsFailedRank: the ring routes around dead ranks.
+func TestBarrierRingSkipsFailedRank(t *testing.T) {
+	b0 := NewBarrier(0, 3)
+	b0.RankFailed(1)
+	act, _, next := b0.Advance(true)
+	if act != ActionForward || next != 2 {
+		t.Fatalf("got %v -> %d, want forward to 2", act, next)
+	}
+	// All peers dead: the survivor may terminate alone.
+	b0.RankFailed(2)
+	if act, _, _ := b0.Advance(true); act != ActionTerminate {
+		t.Fatalf("sole survivor: %v", act)
+	}
+}
+
+// TestBarrierFailureBlackens: RankFailed taints local accounting so a
+// racing round cannot complete white.
+func TestBarrierFailureBlackens(t *testing.T) {
+	b2 := NewBarrier(2, 4)
+	b2.TokenArrived(tokenWhite, 0)
+	b2.RankFailed(1)
+	_, tok, _ := b2.Advance(true)
+	if c, _ := DecodeToken(tok); c != tokenBlack {
+		t.Fatal("failure did not blacken the forwarded token")
+	}
+}
+
+func TestTokenCodec(t *testing.T) {
+	c, q := DecodeToken(EncodeToken(tokenBlack, -42))
+	if c != tokenBlack || q != -42 {
+		t.Fatalf("round trip: color=%d q=%d", c, q)
+	}
+}

@@ -158,6 +158,16 @@ func instantArgs(e Event) map[string]any {
 		return map[string]any{"src": e.A, "dst": e.B}
 	case EvPhaserSignal, EvPhaserWaitStart, EvPhaserWaitEnd, EvPhaserRelease:
 		return map[string]any{"phase": e.A}
+	case EvDistStealReq:
+		return map[string]any{"victim": e.A}
+	case EvDistStealServe, EvDistMigrate:
+		return map[string]any{"peer": e.A, "frames": e.B}
+	case EvDistDeny:
+		return map[string]any{"peer": e.A, "load": e.B}
+	case EvDistToken:
+		return map[string]any{"peer": e.A}
+	case EvDistDone:
+		return map[string]any{"rank": e.A, "failed": e.B}
 	}
 	return nil
 }

@@ -70,6 +70,14 @@ const (
 	EvPhaserWaitStart
 	EvPhaserWaitEnd
 	EvPhaserRelease
+
+	// Distributed-scheduler steal lifecycle (per-rank distsched track).
+	EvDistStealReq   // steal request issued; A = victim rank
+	EvDistStealServe // steal request served with work; A = thief rank, B = frames granted
+	EvDistMigrate    // migrated frames arrived; A = victim rank, B = frames received
+	EvDistDeny       // steal denied; A = peer rank, B = victim's reported load
+	EvDistToken      // termination token forwarded/received; A = peer rank
+	EvDistDone       // global termination or job abort; A = failed rank (if B=1), B = 1 on failure
 )
 
 // String returns the exporter-facing event name.
@@ -109,6 +117,18 @@ func (k EventKind) String() string {
 		return "phaser.wait.end"
 	case EvPhaserRelease:
 		return "phaser.release"
+	case EvDistStealReq:
+		return "dist.steal.req"
+	case EvDistStealServe:
+		return "dist.steal.serve"
+	case EvDistMigrate:
+		return "dist.migrate"
+	case EvDistDeny:
+		return "dist.deny"
+	case EvDistToken:
+		return "dist.token"
+	case EvDistDone:
+		return "dist.done"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -172,6 +192,8 @@ const (
 	TrackNet
 	// TrackPhaser is a rank's phaser activity.
 	TrackPhaser
+	// TrackDist is a rank's distributed-scheduler steal lifecycle.
+	TrackDist
 )
 
 // Track identifies one timeline: a (pid, tid) pair in Chrome trace

@@ -1,368 +1,100 @@
 package uts
 
 import (
-	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"hcmpi/internal/deque"
+	"hcmpi/internal/distsched"
 	"hcmpi/internal/hc"
 	"hcmpi/internal/hcmpi"
 )
 
-// The HCMPI implementation (paper §IV-B): one HCMPI process per node,
-// intra-node parallelism from computation workers with private stacks
-// that overflow into shared work-stealing deques, and all inter-node
-// traffic — steal requests, steal responses, the termination token —
-// handled by the dedicated communication worker through listener tasks,
-// so computation workers are never interrupted to answer remote thieves.
-
-// Reserved tags for the HCMPI UTS protocol.
-const (
-	tagHSteal = -301 // steal request: empty
-	tagHResp  = -302 // steal response: nodes or empty
-	tagHToken = -303 // termination token: [color]
-	tagHDone  = -304 // terminate
-)
-
-// hcmpiRun is the per-node shared state.
-type hcmpiRun struct {
-	node *hcmpi.Node
-	cfg  Config
-	p    Params
-
-	shared   []*deque.Deque[hChunk] // per-worker overflow deques
-	incoming *deque.Stack[hChunk]   // globally stolen work, any worker may take
-
-	idleWorkers atomic.Int32
-	outstanding atomic.Bool // a global steal is in flight
-	done        atomic.Bool
-
-	// Safra termination state (EWD998, at node granularity): deficit is
-	// this node's basic-messages sent minus received; receipt blackens.
-	deficit    atomic.Int64
-	tokMu      sync.Mutex
-	haveTok    bool
-	tokColor   byte
-	tokQ       int64
-	tokenRound bool
-	color      byte
-
-	respMu sync.Mutex // serializes listener's local-steal responses
-
-	ctrMu sync.Mutex
-	ctr   Counters
-}
-
-// hChunk is a batch of stolen tree nodes.
-type hChunk struct{ nodes []Node }
+// The HCMPI implementation (paper §IV-B), built on the runtime's
+// distributed scheduler (internal/distsched): one HCMPI process per
+// node, intra-node parallelism from computation workers, and all
+// inter-node traffic — steal requests, grants, the termination token —
+// handled by the dedicated communication worker through the scheduler's
+// listener tasks, so computation workers are never interrupted to
+// answer remote thieves.
+//
+// A migratable task is one chunk of tree nodes (EncodeNodes payload).
+// The handler explores its chunk depth-first in PollInterval slices and
+// spills the bottom of its private stack as fresh tasks whenever it can
+// spare a chunk — those tasks feed intra-node deque steals and
+// inter-node steal-half grants alike. Global termination is the
+// scheduler's Safra ring; the hand-rolled protocol this file used to
+// carry (tags -301..-304) is gone.
 
 // RunHCMPI executes UTS on one HCMPI node and returns the node's
-// aggregated counters. All ranks must call it (SPMD).
+// aggregated counters. All ranks must call it (SPMD). It owns the
+// node's main task; inside an existing Node.Main use RunHCMPIIn.
 func RunHCMPI(n *hcmpi.Node, cfg Config, p Params) Counters {
-	r := &hcmpiRun{node: n, cfg: cfg, p: p.normalized(), incoming: deque.NewStack[hChunk]()}
-	nw := n.Workers()
-	r.shared = make([]*deque.Deque[hChunk], nw)
-	for i := range r.shared {
-		r.shared[i] = deque.NewDeque[hChunk]()
-	}
-	if n.Rank() == 0 {
-		r.haveTok = true
-		r.tokColor = tokenWhite
-	}
-
-	n.Listen(tagHSteal, r.onStealRequest)
-	n.Listen(tagHResp, r.onStealResponse)
-	n.Listen(tagHToken, r.onToken)
-	n.Listen(tagHDone, func(int, []byte) { r.done.Store(true) })
-
+	s := distsched.New(n, distsched.Config{})
+	var (
+		ctr Counters
+		err error
+	)
 	n.Main(func(ctx *hc.Ctx) {
-		ctx.Finish(func(ctx *hc.Ctx) {
-			for wid := 0; wid < nw; wid++ {
-				wid := wid
-				ctx.AsyncAt(wid, func(ctx *hc.Ctx) { r.workerLoop(wid) })
-			}
-		})
+		ctr, err = runHCMPIOn(s, ctx, cfg, p)
 	})
-	// Listener callbacks (straggler steal responses) may still fire until
-	// the node closes; copy the counters under their lock.
-	r.ctrMu.Lock()
-	out := r.ctr
-	r.ctrMu.Unlock()
-	return out
+	if err != nil {
+		// The in-process worlds this entry point serves have no
+		// fail-stop story for the caller; a failed rank is a test or
+		// harness bug, not a recoverable condition.
+		panic("uts: HCMPI run aborted: " + err.Error())
+	}
+	return ctr
 }
 
-// workerLoop is one computation worker's search loop.
-func (r *hcmpiRun) workerLoop(wid int) {
-	w := &hWorker{run: r, wid: wid, rng: rand.New(rand.NewSource(int64(r.node.Rank()*1009+wid)*6151 + 17))}
-	if r.node.Rank() == 0 && wid == 0 {
-		w.stack = append(w.stack, r.cfg.Root())
-	}
-	w.loop()
-	r.ctrMu.Lock()
-	r.ctr.Add(w.ctr)
-	r.ctrMu.Unlock()
+// RunHCMPIIn is RunHCMPI for callers already inside a Node.Main task
+// (multi-process launchers like cmd/hcmpirun). It returns the abort
+// error instead of panicking, so survivors of a rank failure can report
+// mpi.ErrRankFailed.
+func RunHCMPIIn(n *hcmpi.Node, ctx *hc.Ctx, cfg Config, p Params) (Counters, error) {
+	return runHCMPIOn(distsched.New(n, distsched.Config{}), ctx, cfg, p)
 }
 
-type hWorker struct {
-	run   *hcmpiRun
-	wid   int
-	rng   *rand.Rand
-	stack []Node
-	idle  bool
-	ctr   Counters
-}
-
-// setIdle maintains the node-level idle census as a level signal (not an
-// enter/exit pulse), so quiescence is observable the moment the last
-// worker runs dry rather than only when all workers happen to overlap
-// inside a probe window.
-func (w *hWorker) setIdle(b bool) {
-	if w.idle == b {
-		return
-	}
-	w.idle = b
-	if b {
-		w.run.idleWorkers.Add(1)
-	} else {
-		w.run.idleWorkers.Add(-1)
-	}
-}
-
-func (w *hWorker) loop() {
-	r := w.run
-	for !r.done.Load() {
-		if len(w.stack) > 0 {
-			w.setIdle(false)
-			w.explore()
-			continue
-		}
-		w.findWork()
-	}
-	w.setIdle(false)
-}
-
-// explore expands up to PollInterval nodes, then offloads surplus to the
-// shared deque so intra-node peers (and, through the communication
-// worker, remote thieves) can take it. The worker interrupts itself only
-// to generate stealable work — never to answer communication, which is
-// the communication worker's job (this is why HCMPI's overhead column in
-// Table III is ~5× smaller than MPI's).
-func (w *hWorker) explore() {
-	t0 := time.Now()
-	cfg := w.run.cfg
-	for i := 0; i < w.run.p.PollInterval && len(w.stack) > 0; i++ {
-		n := w.stack[len(w.stack)-1]
-		w.stack = w.stack[:len(w.stack)-1]
-		w.ctr.Nodes++
-		if n.Depth > w.ctr.MaxDepth {
-			w.ctr.MaxDepth = n.Depth
-		}
-		k := cfg.NumChildren(n)
-		for j := 0; j < k; j++ {
-			w.stack = append(w.stack, cfg.Child(n, j))
-		}
-	}
-	w.ctr.Work += time.Since(t0)
-
-	t1 := time.Now()
-	chunk := w.run.p.Chunk
-	if len(w.stack) >= 2*chunk {
-		// Offload the oldest nodes (bottom of stack, largest subtrees).
-		c := hChunk{nodes: make([]Node, chunk)}
-		copy(c.nodes, w.stack[:chunk])
-		w.stack = append(w.stack[:0], w.stack[chunk:]...)
-		w.run.shared[w.wid].Push(&c)
-	}
-	w.ctr.Overhead += time.Since(t1)
-}
-
-// findWork is the idle path: own shared deque, incoming global work,
-// peers' deques, then a global steal through the communication worker.
-func (w *hWorker) findWork() {
-	r := w.run
-	t0 := time.Now()
-	defer func() { w.ctr.Search += time.Since(t0) }()
-
-	// 1. Own overflow deque.
-	if c, ok := r.shared[w.wid].Pop(); ok {
-		w.setIdle(false)
-		w.stack = append(w.stack, c.nodes...)
-		return
-	}
-	// 2. Globally stolen work parked by the communication worker.
-	if c, ok := r.incoming.Pop(); ok {
-		w.setIdle(false)
-		w.stack = append(w.stack, c.nodes...)
-		return
-	}
-	// 3. Shared-memory steal from an intra-node peer: no request, no
-	// victim disruption.
-	nw := len(r.shared)
-	start := w.rng.Intn(nw)
-	for i := 0; i < nw; i++ {
-		v := (start + i) % nw
-		if v == w.wid {
-			continue
-		}
-		if c, ok := r.shared[v].Steal(); ok {
-			w.ctr.LocalSteals++
-			w.setIdle(false)
-			w.stack = append(w.stack, c.nodes...)
-			return
-		}
-	}
-
-	// 4. Nothing on the node: declare idle, maybe trigger a global steal,
-	// maybe move the termination token.
-	w.setIdle(true)
-
-	if r.node.Size() == 1 {
-		if r.nodeQuiescent() {
-			r.done.Store(true)
-		}
-		return
-	}
-
-	if !r.outstanding.Load() && r.outstanding.CompareAndSwap(false, true) {
-		victim := w.rng.Intn(r.node.Size() - 1)
-		if victim >= r.node.Rank() {
-			victim++
-		}
-		r.node.SendReserved(nil, victim, tagHSteal)
-	}
-
-	r.tryForwardToken()
-
-	// Brief backoff: the listener fills incoming; local peers may
-	// generate work any moment.
-	time.Sleep(2 * time.Microsecond)
-}
-
-// nodeQuiescent reports whether this node holds no work at all.
-func (r *hcmpiRun) nodeQuiescent() bool {
-	if int(r.idleWorkers.Load()) != len(r.shared) {
-		return false
-	}
-	if r.outstanding.Load() {
-		return false
-	}
-	if r.incoming.Size() > 0 {
-		return false
-	}
-	for _, d := range r.shared {
-		if !d.Empty() {
-			return false
-		}
-	}
-	return true
-}
-
-// --- communication-worker listeners ---
-
-// onStealRequest answers a remote thief by stealing locally (paper: "the
-// listener task looks for internal work, trying to steal from the local
-// work-stealing deques").
-func (r *hcmpiRun) onStealRequest(src int, _ []byte) {
-	r.respMu.Lock()
-	defer r.respMu.Unlock()
-	for _, d := range r.shared {
-		if c, ok := d.Steal(); ok {
-			// Only work-carrying messages count for Safra (requests and
-			// rejects cannot reactivate a passive node).
-			r.deficit.Add(1)
-			r.node.SendReserved(EncodeNodes(c.nodes), src, tagHResp)
-			r.ctrMu.Lock()
-			r.ctr.Released++
-			r.ctrMu.Unlock()
-			return
-		}
-	}
-	r.node.SendReserved(nil, src, tagHResp)
-}
-
-// onStealResponse parks globally stolen work for idle computation
-// workers.
-func (r *hcmpiRun) onStealResponse(_ int, payload []byte) {
-	if len(payload) > 0 {
-		// Safra receipt of work: blacken before decrementing so no token
-		// snapshot pairs the decrement with a white node.
-		r.tokMu.Lock()
-		r.color = tokenBlack
-		r.tokMu.Unlock()
-		r.deficit.Add(-1)
-		r.incoming.Push(&hChunk{nodes: DecodeNodes(payload)})
-		r.ctrMu.Lock()
-		r.ctr.Steals++
-		r.ctrMu.Unlock()
-	} else {
-		r.ctrMu.Lock()
-		r.ctr.FailedSteals++
-		r.ctrMu.Unlock()
-	}
-	r.outstanding.Store(false)
-}
-
-// onToken stores an arriving termination token; idle workers forward it.
-func (r *hcmpiRun) onToken(_ int, payload []byte) {
-	color, q := decodeToken(payload)
-	r.tokMu.Lock()
-	r.haveTok = true
-	r.tokColor = color
-	r.tokQ = q
-	r.tokMu.Unlock()
-}
-
-// tryForwardToken runs the Dijkstra ring at node granularity.
-func (r *hcmpiRun) tryForwardToken() {
-	r.tokMu.Lock()
-	defer r.tokMu.Unlock()
-	if !r.haveTok || r.done.Load() || !r.nodeQuiescentForToken() {
-		return
-	}
-	p := r.node.Size()
-	if r.node.Rank() == 0 {
-		if r.tokenRound && r.tokColor == tokenWhite && r.color == tokenWhite &&
-			r.tokQ+r.deficit.Load() == 0 {
-			for rk := 1; rk < p; rk++ {
-				r.node.SendReserved(nil, rk, tagHDone)
+// runHCMPIOn registers the UTS task kind, seeds the root, and drives
+// the scheduler to global termination.
+func runHCMPIOn(s *distsched.Scheduler, ctx *hc.Ctx, cfg Config, p Params) (Counters, error) {
+	p = p.normalized()
+	n := s.Node()
+	nw := n.Workers()
+	// Per-worker state, keyed by the executing driver: frames on one
+	// worker run sequentially, so no locks.
+	ctrs := make([]Counters, nw)
+	stacks := make([][]Node, nw)
+	s.Register("uts", func(tc *distsched.TaskCtx, payload []byte) {
+		wid := tc.Worker()
+		ctr := &ctrs[wid]
+		stack := append(stacks[wid][:0], DecodeNodes(payload)...)
+		for len(stack) > 0 {
+			stack = expandSlice(cfg, p.PollInterval, stack, ctr)
+			t0 := time.Now()
+			if chunk, rest, ok := splitBottom(stack, p.Chunk); ok {
+				stack = rest
+				// Spill the oldest nodes as a migratable task: local
+				// peers steal it through the deques, remote thieves
+				// through the scheduler's grant protocol.
+				tc.Spawn("uts", EncodeNodes(chunk))
 			}
-			r.done.Store(true)
-			return
+			ctr.Overhead += time.Since(t0)
 		}
-		r.tokenRound = true
-		r.color = tokenWhite
-		r.haveTok = false
-		r.node.SendReserved(encodeToken(tokenWhite, 0), 1%p, tagHToken)
-		return
+		stacks[wid] = stack[:0] // keep the capacity for the next frame
+	})
+	if n.Rank() == 0 {
+		s.Submit("uts", EncodeNodes([]Node{cfg.Root()}))
 	}
-	out := r.tokColor
-	if r.color == tokenBlack {
-		out = tokenBlack
-	}
-	r.color = tokenWhite
-	r.haveTok = false
-	r.node.SendReserved(encodeToken(out, r.tokQ+r.deficit.Load()), (r.node.Rank()+1)%p, tagHToken)
-}
+	err := s.Run(ctx)
 
-// nodeQuiescentForToken: like nodeQuiescent but the caller is itself one
-// of the idle workers (counted in idleWorkers), and an outstanding steal
-// request does NOT block the token — workers re-issue steals continuously
-// while idle, so requiring a steal-free instant would livelock the ring.
-// In-flight stolen work is covered by the Dijkstra rule that blackens the
-// sender of any work transfer.
-func (r *hcmpiRun) nodeQuiescentForToken() bool {
-	if int(r.idleWorkers.Load()) != len(r.shared) {
-		return false
+	var out Counters
+	for i := range ctrs {
+		out.Add(ctrs[i])
 	}
-	if r.incoming.Size() > 0 {
-		return false
-	}
-	for _, d := range r.shared {
-		if !d.Empty() {
-			return false
-		}
-	}
-	return true
+	st := s.Stats()
+	out.Steals = st.GrantsIn
+	out.FailedSteals = st.DeniesIn
+	out.LocalSteals = st.LocalSteals
+	out.Released = st.GrantsOut
+	out.Search = st.Search
+	return out, err
 }

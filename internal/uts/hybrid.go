@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hcmpi/internal/distsched"
 	"hcmpi/internal/mpi"
 )
 
@@ -38,9 +39,8 @@ func RunHybrid(c *mpi.Comm, cfg Config, p Params, threads int, mode HybridMode) 
 		rng: rand.New(rand.NewSource(int64(c.Rank())*104729 + 71)),
 	}
 	h.poolCond = sync.NewCond(&h.poolMu)
+	h.bar = distsched.NewBarrier(c.Rank(), c.Size())
 	if c.Rank() == 0 {
-		h.haveTok = true
-		h.tokColor = tokenWhite
 		h.pool = append(h.pool, []Node{cfg.Root()})
 	}
 	h.run()
@@ -64,13 +64,8 @@ type hybridRun struct {
 	commMu      sync.Mutex // funnels MPI calls through one thread at a time
 	outstanding bool
 	pendingResp *mpi.Request
-	// Safra termination state (EWD998), guarded by commMu.
-	deficit    int64
-	color      byte
-	haveTok    bool
-	tokColor   byte
-	tokQ       int64
-	tokenRound bool
+	// Safra termination detector (EWD998), shared with distsched.
+	bar *distsched.Barrier
 
 	ctrMu sync.Mutex
 	ctr   Counters
@@ -152,35 +147,19 @@ func (w *hybridThread) loop() {
 }
 
 func (w *hybridThread) explore() {
-	t0 := time.Now()
-	cfg := w.run.cfg
-	for i := 0; i < w.run.p.PollInterval && len(w.stack) > 0; i++ {
-		n := w.stack[len(w.stack)-1]
-		w.stack = w.stack[:len(w.stack)-1]
-		w.ctr.Nodes++
-		if n.Depth > w.ctr.MaxDepth {
-			w.ctr.MaxDepth = n.Depth
-		}
-		k := cfg.NumChildren(n)
-		for j := 0; j < k; j++ {
-			w.stack = append(w.stack, cfg.Child(n, j))
-		}
-	}
-	w.ctr.Work += time.Since(t0)
+	w.stack = expandSlice(w.run.cfg, w.run.p.PollInterval, w.stack, &w.ctr)
 }
 
 // offload shares surplus work through the pool, waking idle teammates
 // (the barrier cancellation of the improved scheme).
 func (w *hybridThread) offload() {
 	h := w.run
-	chunk := h.p.Chunk
-	if len(w.stack) < 2*chunk {
+	c, rest, ok := splitBottom(w.stack, h.p.Chunk)
+	if !ok {
 		return
 	}
 	t0 := time.Now()
-	c := make([]Node, chunk)
-	copy(c, w.stack[:chunk])
-	w.stack = append(w.stack[:0], w.stack[chunk:]...)
+	w.stack = rest
 	h.poolMu.Lock()
 	h.pool = append(h.pool, c)
 	h.poolCond.Broadcast()
@@ -252,7 +231,9 @@ func (w *hybridThread) pollComm(wantSteal bool) {
 	if h.pendingResp != nil {
 		if st, ok := h.pendingResp.Test(); ok {
 			if st.Bytes > 0 {
-				h.recvWork()
+				// Safra receipt rule: blacken before the work becomes
+				// executable.
+				h.bar.WorkReceived()
 				nodes := DecodeNodes(h.pendingResp.Payload())
 				h.poolMu.Lock()
 				h.pool = append(h.pool, nodes)
@@ -268,10 +249,7 @@ func (w *hybridThread) pollComm(wantSteal bool) {
 	}
 	// New steal request.
 	if wantSteal && !h.outstanding && h.comm.Size() > 1 {
-		victim := h.rngIntn(h.comm.Size() - 1)
-		if victim >= h.comm.Rank() {
-			victim++
-		}
+		victim := pickVictim(h.rng, h.comm.Rank(), h.comm.Size())
 		h.comm.Isend(nil, victim, tagStealReq)
 		h.pendingResp = h.comm.IrecvAdopt(victim, tagStealResp)
 		h.outstanding = true
@@ -280,25 +258,13 @@ func (w *hybridThread) pollComm(wantSteal bool) {
 	if st, ok := h.comm.Iprobe(mpi.AnySource, tagToken); ok {
 		buf := make([]byte, 9)
 		h.comm.Recv(buf, st.Source, tagToken)
-		h.haveTok = true
-		h.tokColor, h.tokQ = decodeToken(buf)
+		h.bar.TokenArrived(distsched.DecodeToken(buf))
 	}
 	if _, ok := h.comm.Iprobe(mpi.AnySource, tagDone); ok {
 		var b [1]byte
 		h.comm.Recv(b[:0], mpi.AnySource, tagDone)
 		h.setDone()
 	}
-}
-
-// rngIntn guards the shared rng with commMu (already held by callers).
-func (h *hybridRun) rngIntn(n int) int { return h.rng.Intn(n) }
-
-// recvWork records receipt of a work-carrying message (commMu held):
-// Safra's receipt rule blackens the receiver. Requests and rejects are
-// uncounted control traffic.
-func (h *hybridRun) recvWork() {
-	h.deficit--
-	h.color = tokenBlack
 }
 
 // answerSteal (commMu held): hand a pool chunk to the thief or reject.
@@ -311,7 +277,8 @@ func (h *hybridRun) answerSteal(thief int) {
 	}
 	h.poolMu.Unlock()
 	if chunk != nil {
-		h.deficit++
+		// Safra: count the work-carrying send before it leaves.
+		h.bar.WorkSent()
 		h.comm.Isend(EncodeNodes(chunk), thief, tagStealResp)
 		h.ctrMu.Lock()
 		h.ctr.Released++
@@ -335,36 +302,18 @@ func (w *hybridThread) tryForwardToken() {
 	// An outstanding steal request does not block the token: the sender
 	// of any in-flight work is black, so a transfer racing the token
 	// forces another round rather than a premature termination.
-	if !quiescent || !h.haveTok {
-		return
-	}
-	p := h.comm.Size()
-	if p == 1 {
-		h.setDone()
-		return
-	}
-	if h.comm.Rank() == 0 {
-		if h.tokenRound && h.tokColor == tokenWhite && h.color == tokenWhite &&
-			h.tokQ+h.deficit == 0 {
-			for r := 1; r < p; r++ {
+	act, tok, next := h.bar.Advance(quiescent)
+	switch act {
+	case distsched.ActionForward:
+		h.comm.Isend(tok, next, tagToken)
+	case distsched.ActionTerminate:
+		for r := 0; r < h.comm.Size(); r++ {
+			if r != h.comm.Rank() {
 				h.comm.Isend(nil, r, tagDone)
 			}
-			h.setDone()
-			return
 		}
-		h.tokenRound = true
-		h.color = tokenWhite
-		h.haveTok = false
-		h.comm.Isend(encodeToken(tokenWhite, 0), 1%p, tagToken)
-		return
+		h.setDone()
 	}
-	out := h.tokColor
-	if h.color == tokenBlack {
-		out = tokenBlack
-	}
-	h.color = tokenWhite
-	h.haveTok = false
-	h.comm.Isend(encodeToken(out, h.tokQ+h.deficit), (h.comm.Rank()+1)%p, tagToken)
 }
 
 func (h *hybridRun) setDone() {

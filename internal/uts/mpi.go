@@ -1,10 +1,10 @@
 package uts
 
 import (
-	"encoding/binary"
 	"math/rand"
 	"time"
 
+	"hcmpi/internal/distsched"
 	"hcmpi/internal/mpi"
 )
 
@@ -15,10 +15,10 @@ import (
 // reject — and termination uses a token-passing algorithm, as in the
 // reference code. Because our transport is asynchronous (messages can be
 // delivered but not yet consumed), the ring runs Safra's algorithm
-// (EWD998): the token accumulates each rank's sent-minus-received count
-// of basic messages, receipt of a basic message blackens the receiver,
-// and rank 0 declares termination only on a white round whose total
-// message deficit is zero.
+// (EWD998) through the shared distsched.Barrier detector: the token
+// accumulates each rank's sent-minus-received count of basic messages,
+// receipt of a basic message blackens the receiver, and rank 0 declares
+// termination only on a white round whose total message deficit is zero.
 //
 // The paper's Table III attributes MPI's collapse at scale to exactly the
 // two-sided steal structure: failed steals burn victim CPU and network.
@@ -31,27 +31,15 @@ const (
 	tagDone      = 4 // rank 0 -> all: terminate
 )
 
-const (
-	tokenWhite = byte(0)
-	tokenBlack = byte(1)
-)
-
-func encodeToken(color byte, q int64) []byte {
-	b := make([]byte, 9)
-	b[0] = color
-	binary.LittleEndian.PutUint64(b[1:], uint64(q))
-	return b
-}
-
-func decodeToken(b []byte) (byte, int64) {
-	return b[0], int64(binary.LittleEndian.Uint64(b[1:]))
-}
-
 // RunMPI executes UTS on one rank of an "MPI everywhere" job and returns
 // this rank's counters. The global node total is the allreduced sum of
 // Counters.Nodes; callers typically wrap this with World.Run.
 func RunMPI(c *mpi.Comm, cfg Config, p Params) Counters {
-	w := &mpiWorker{comm: c, cfg: cfg, p: p.normalized(), rng: rand.New(rand.NewSource(int64(c.Rank())*7919 + 13))}
+	w := &mpiWorker{
+		comm: c, cfg: cfg, p: p.normalized(),
+		rng: rand.New(rand.NewSource(int64(c.Rank())*7919 + 13)),
+		bar: distsched.NewBarrier(c.Rank(), c.Size()),
+	}
 	return w.run()
 }
 
@@ -64,14 +52,8 @@ type mpiWorker struct {
 	stack []Node
 	ctr   Counters
 
-	// Safra state.
-	deficit    int64 // basic messages sent - received
-	color      byte
-	haveTok    bool
-	tokColor   byte
-	tokQ       int64
-	tokenRound bool
-	done       bool
+	bar  *distsched.Barrier // Safra termination detector (shared w/ distsched)
+	done bool
 }
 
 // sendWork sends a work-carrying message, the only kind Safra must count:
@@ -80,28 +62,18 @@ type mpiWorker struct {
 // livelock the ring — idle ranks steal continuously, and blackening on
 // every reject would prevent any all-white round.
 func (w *mpiWorker) sendWork(buf []byte, dest, tag int) {
-	w.deficit++
+	w.bar.WorkSent()
 	w.comm.Isend(buf, dest, tag)
-}
-
-// recvWork records the application-level receipt of a work message:
-// decrement the deficit and blacken (EWD998 receipt rule).
-func (w *mpiWorker) recvWork() {
-	w.deficit--
-	w.color = tokenBlack
 }
 
 func (w *mpiWorker) run() Counters {
 	if w.comm.Rank() == 0 {
 		w.stack = append(w.stack, w.cfg.Root())
-		w.haveTok = true // rank 0 owns the initial token
-		w.tokColor = tokenWhite
 	}
-	w.color = tokenWhite
 
 	for !w.done {
 		if len(w.stack) > 0 {
-			w.exploreSlice()
+			w.stack = expandSlice(w.cfg, w.p.PollInterval, w.stack, &w.ctr)
 			w.service()
 			continue
 		}
@@ -111,24 +83,6 @@ func (w *mpiWorker) run() Counters {
 	// thief blocks forever on a response.
 	w.drainRejects()
 	return w.ctr
-}
-
-// exploreSlice expands up to PollInterval nodes (the -i knob).
-func (w *mpiWorker) exploreSlice() {
-	t0 := time.Now()
-	for i := 0; i < w.p.PollInterval && len(w.stack) > 0; i++ {
-		n := w.stack[len(w.stack)-1]
-		w.stack = w.stack[:len(w.stack)-1]
-		w.ctr.Nodes++
-		if n.Depth > w.ctr.MaxDepth {
-			w.ctr.MaxDepth = n.Depth
-		}
-		k := w.cfg.NumChildren(n)
-		for j := 0; j < k; j++ {
-			w.stack = append(w.stack, w.cfg.Child(n, j))
-		}
-	}
-	w.ctr.Work += time.Since(t0)
 }
 
 // service answers pending steal requests and token arrivals while busy
@@ -153,19 +107,14 @@ func (w *mpiWorker) tryTakeToken() {
 	if st, ok := w.comm.Iprobe(mpi.AnySource, tagToken); ok {
 		buf := make([]byte, 9)
 		w.comm.Recv(buf, st.Source, tagToken)
-		w.haveTok = true
-		w.tokColor, w.tokQ = decodeToken(buf)
+		w.bar.TokenArrived(distsched.DecodeToken(buf))
 	}
 }
 
 // answerSteal sends a chunk if the stack is deep enough, else a reject.
 func (w *mpiWorker) answerSteal(thief int) {
-	if len(w.stack) >= 2*w.p.Chunk {
-		// Steal from the bottom: the oldest nodes, nearest the root,
-		// statistically own the largest subtrees.
-		chunk := make([]Node, w.p.Chunk)
-		copy(chunk, w.stack[:w.p.Chunk])
-		w.stack = append(w.stack[:0], w.stack[w.p.Chunk:]...)
+	if chunk, rest, ok := splitBottom(w.stack, w.p.Chunk); ok {
+		w.stack = rest
 		w.sendWork(EncodeNodes(chunk), thief, tagStealResp)
 		w.ctr.Released++
 		return
@@ -192,17 +141,16 @@ func (w *mpiWorker) searchForWork() {
 	}
 
 	// Pick a victim and issue a two-sided steal.
-	victim := w.rng.Intn(p - 1)
-	if victim >= w.comm.Rank() {
-		victim++
-	}
+	victim := pickVictim(w.rng, w.comm.Rank(), p)
 	w.comm.Isend(nil, victim, tagStealReq)
 	resp := w.comm.IrecvAdopt(victim, tagStealResp)
 
 	for {
 		if st, ok := resp.Test(); ok {
 			if st.Bytes > 0 {
-				w.recvWork()
+				// Safra receipt rule: blacken before the work becomes
+				// executable.
+				w.bar.WorkReceived()
 				w.stack = append(w.stack, DecodeNodes(resp.Payload())...)
 				w.ctr.Steals++
 			} else {
@@ -235,37 +183,25 @@ func (w *mpiWorker) searchForWork() {
 	}
 }
 
-// forwardTokenIfIdle implements Safra's ring: the token accumulates each
-// passive machine's message deficit; rank 0 terminates on a white round
-// with zero total deficit.
+// forwardTokenIfIdle drives Safra's ring through the shared detector:
+// the token accumulates each passive machine's message deficit; rank 0
+// terminates on a white round with zero total deficit.
 func (w *mpiWorker) forwardTokenIfIdle() {
-	if !w.haveTok || len(w.stack) > 0 || w.done {
+	if len(w.stack) > 0 || w.done {
 		return
 	}
-	p := w.comm.Size()
-	if w.comm.Rank() == 0 {
-		if w.tokenRound && w.tokColor == tokenWhite && w.color == tokenWhite && w.tokQ+w.deficit == 0 {
-			// Quiescent and no basic messages in flight: terminate.
-			for r := 1; r < p; r++ {
+	act, tok, next := w.bar.Advance(true)
+	switch act {
+	case distsched.ActionForward:
+		w.comm.Isend(tok, next, tagToken)
+	case distsched.ActionTerminate:
+		for r := 0; r < w.comm.Size(); r++ {
+			if r != w.comm.Rank() {
 				w.comm.Isend(nil, r, tagDone)
 			}
-			w.done = true
-			return
 		}
-		// Start a fresh white round with q = 0.
-		w.tokenRound = true
-		w.color = tokenWhite
-		w.haveTok = false
-		w.comm.Isend(encodeToken(tokenWhite, 0), 1%p, tagToken)
-		return
+		w.done = true
 	}
-	out := w.tokColor
-	if w.color == tokenBlack {
-		out = tokenBlack
-	}
-	w.color = tokenWhite
-	w.haveTok = false
-	w.comm.Isend(encodeToken(out, w.tokQ+w.deficit), (w.comm.Rank()+1)%p, tagToken)
 }
 
 // drainRejects answers straggler steal requests after termination.

@@ -1,0 +1,56 @@
+package uts
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Steal bookkeeping shared by the three UTS ports (mpi.go, hcmpi.go,
+// hybrid.go): victim selection, the timed PollInterval expansion slice,
+// and the bottom-of-stack split that releases the oldest nodes — the
+// ones statistically owning the largest subtrees — to thieves.
+
+// pickVictim draws a uniform victim rank != rank (the classic UTS
+// choice). size must be >= 2.
+func pickVictim(rng *rand.Rand, rank, size int) int {
+	v := rng.Intn(size - 1)
+	if v >= rank {
+		v++
+	}
+	return v
+}
+
+// expandSlice explores up to interval nodes from the top of stack (the
+// -i knob), charging time to ctr.Work, and returns the updated stack.
+func expandSlice(cfg Config, interval int, stack []Node, ctr *Counters) []Node {
+	t0 := time.Now()
+	for i := 0; i < interval && len(stack) > 0; i++ {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ctr.Nodes++
+		if n.Depth > ctr.MaxDepth {
+			ctr.MaxDepth = n.Depth
+		}
+		k := cfg.NumChildren(n)
+		for j := 0; j < k; j++ {
+			stack = append(stack, cfg.Child(n, j))
+		}
+	}
+	ctr.Work += time.Since(t0)
+	return stack
+}
+
+// splitBottom removes the oldest chunk nodes from the bottom of stack —
+// but only when the stack can spare them (>= 2*chunk), so the owner
+// always keeps at least a chunk for itself. Returns the removed chunk,
+// the remaining stack (aliasing the input's backing array), and whether
+// a split happened.
+func splitBottom(stack []Node, chunk int) (removed, rest []Node, ok bool) {
+	if len(stack) < 2*chunk {
+		return nil, stack, false
+	}
+	removed = make([]Node, chunk)
+	copy(removed, stack[:chunk])
+	rest = append(stack[:0], stack[chunk:]...)
+	return removed, rest, true
+}
