@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-debug verify test chaos lint vet trace-demo bench bench-smoke conformance smoke-distributed
+.PHONY: tier1 tier1-debug verify test chaos lint lint-fix-check vet trace-demo bench bench-smoke conformance smoke-distributed
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
@@ -40,12 +40,31 @@ conformance:
 smoke-distributed:
 	$(GO) test -count=1 -v ./cmd/hcmpirun/
 
-# Static analysis gate: go vet plus hclint's five HCMPI-specific
-# analyzers (atomic-mix, lifecycle, ddf-once, hotpath-alloc,
-# test-goroutine). Non-zero exit on any finding.
+# Static analysis gate: go vet plus hclint's nine HCMPI-specific
+# analyzers — five intra-procedural (atomic-mix, lifecycle, ddf-once,
+# hotpath-alloc, test-goroutine) and four over the module call graph
+# (lock-order, nonblocking, tag-space, goroutine-leak). -stats prints
+# per-analyzer finding counts and wall time; non-zero exit on any
+# finding.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/hclint .
+	$(GO) run ./cmd/hclint -stats .
+
+# Fixture cross-check: drive every analyzer's known-bad testdata
+# package through the real hclint binary in want-marker mode, one
+# analyzer per fixture, so golden/marker drift fails CI outside the
+# `go test` harness too.
+LINT_FIXTURES = \
+	atomic-mix:atomicmix lifecycle:lifecycle ddf-once:ddfonce \
+	hotpath-alloc:hotpath test-goroutine:testgoroutine \
+	lock-order:lockorder nonblocking:nonblocking \
+	tag-space:tagspace goroutine-leak:goroutineleak
+
+lint-fix-check:
+	@for pair in $(LINT_FIXTURES); do \
+		check=$${pair%%:*}; dir=$${pair##*:}; \
+		$(GO) run ./cmd/hclint -want -checks $$check internal/lint/testdata/src/$$dir || exit 1; \
+	done
 
 vet:
 	$(GO) vet ./...

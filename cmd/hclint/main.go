@@ -6,14 +6,23 @@
 //
 // Usage:
 //
-//	hclint [-tags tag1,tag2] [-checks name1,name2] [dir]
+//	hclint [-tags tag1,tag2] [-checks name1,name2] [-stats] [dir]
+//	hclint -want [-checks name1,name2] fixture-dir
 //
 // dir (default ".") may be the module root, any directory inside the
 // module, or a "./..." pattern — the whole module is always linted.
-// Exit codes: 0 clean, 1 findings, 2 load or usage error.
+// -stats prints per-analyzer finding counts and wall time to stderr.
+// -want flips the driver into fixture mode: the directory is loaded as
+// a single package and the findings are cross-checked against its
+// `// want:` line markers, in both directions — CI runs the analyzer
+// fixtures through this mode so the suite is exercised by the installed
+// binary, not only by `go test`.
+// Exit codes: 0 clean, 1 findings (or marker mismatches), 2 load or
+// usage error.
 //
 // The analyzers and the invariants they defend are catalogued in
-// DESIGN.md §10. Run the debug-assertion complement with
+// DESIGN.md §10 (intra-procedural) and §14 (the call-graph-based
+// suite). Run the debug-assertion complement with
 // `make tier1-debug`.
 package main
 
@@ -23,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hcmpi/internal/lint"
 )
@@ -31,8 +41,11 @@ func main() {
 	tags := flag.String("tags", "", "comma-separated build tags (e.g. hcmpi_debug)")
 	checks := flag.String("checks", "", "comma-separated analyzer names (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and timings to stderr")
+	want := flag.Bool("want", false, "fixture mode: verify findings against the directory's // want: markers")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hclint [-tags t1,t2] [-checks c1,c2] [dir]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: hclint [-tags t1,t2] [-checks c1,c2] [-stats] [dir]\n"+
+			"       hclint -want [-checks c1,c2] fixture-dir\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -55,11 +68,8 @@ func main() {
 			dir = "."
 		}
 	}
-	root, err := findModuleRoot(dir)
-	if err != nil {
-		fatal(err)
-	}
 
+	var err error
 	suite := lint.All()
 	if *checks != "" {
 		suite, err = lint.ByName(strings.Split(*checks, ","))
@@ -67,10 +77,19 @@ func main() {
 			fatal(err)
 		}
 	}
-
 	var tagList []string
 	if *tags != "" {
 		tagList = strings.Split(*tags, ",")
+	}
+
+	if *want {
+		runWantMode(dir, suite, tagList)
+		return
+	}
+
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fatal(err)
 	}
 	loader, err := lint.NewLoader(root, tagList...)
 	if err != nil {
@@ -86,7 +105,7 @@ func main() {
 		}
 	}
 
-	findings := lint.RunAll(pkgs, suite)
+	findings, perCheck := lint.RunAllStats(pkgs, suite)
 	cwd, _ := os.Getwd()
 	for _, f := range findings {
 		name := f.Pos.Filename
@@ -97,9 +116,46 @@ func main() {
 		}
 		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Check, f.Msg)
 	}
+	if *stats {
+		printStats(perCheck)
+	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "hclint: %d finding(s)\n", n)
 		os.Exit(1)
+	}
+}
+
+// runWantMode loads dir as one fixture package and verifies the suite's
+// findings match its // want: markers exactly.
+func runWantMode(dir string, suite []*lint.Analyzer, tags []string) {
+	pkg, err := lint.LoadPackageDir(dir, tags...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range pkg.Errors {
+		fatal(fmt.Errorf("type error in %s: %v", dir, e))
+	}
+	mismatches, err := lint.WantMismatches(dir, lint.RunAll([]*lint.Package{pkg}, suite))
+	if err != nil {
+		fatal(err)
+	}
+	for _, m := range mismatches {
+		fmt.Printf("%s%c%s\n", dir, filepath.Separator, m)
+	}
+	if len(mismatches) > 0 {
+		fmt.Fprintf(os.Stderr, "hclint: %d want-marker mismatch(es) in %s\n", len(mismatches), dir)
+		os.Exit(1)
+	}
+	fmt.Printf("hclint: %s ok (markers match)\n", dir)
+}
+
+// printStats renders the per-analyzer accounting table. The first
+// module-wide analyzer's time includes building the shared call graph
+// and blocking facts; the rest hit the cache.
+func printStats(stats []lint.Stat) {
+	for _, s := range stats {
+		fmt.Fprintf(os.Stderr, "%-15s %3d finding(s) %12s\n",
+			s.Name, s.Findings, s.Elapsed.Round(time.Microsecond))
 	}
 }
 

@@ -25,13 +25,15 @@ import (
 
 	"hcmpi/internal/hc"
 	"hcmpi/internal/hcmpi"
+	"hcmpi/internal/mpi"
 )
 
-// Reserved tags for the DDDF wire protocol.
+// Reserved tags for the DDDF wire protocol, drawn from the module-wide
+// registry in internal/mpi/tags.go.
 const (
-	tagRegister = -201 // payload: guid — "send me guid's value when put"
-	tagData     = -202 // payload: guid ++ value
-	tagPutFwd   = -203 // payload: guid ++ value — remote put forwarded home
+	tagRegister = mpi.TagDDDFRegister // payload: guid — "send me guid's value when put"
+	tagData     = mpi.TagDDDFData     // payload: guid ++ value
+	tagPutFwd   = mpi.TagDDDFPutFwd   // payload: guid ++ value — remote put forwarded home
 )
 
 // HomeFunc maps a guid to its home rank (DDF_HOME).

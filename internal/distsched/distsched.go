@@ -600,7 +600,10 @@ func (s *Scheduler) drainAbandoned() {
 // the harvest atomic with the Safra WorkSent with respect to token
 // quiescence probes — without it a token could slip between "frames
 // removed from the deques" and "deficit incremented" and terminate
-// early.
+// early. Like every listener callback it runs ON the communication
+// worker, so it must never park.
+//
+//hclint:nonblocking
 func (s *Scheduler) onStealReq(src int, _ []byte) {
 	s.ctr.reqRecv.Add(1)
 	s.cfg.Policy.Observe(src, 0) // requester is starving
@@ -675,6 +678,8 @@ func (s *Scheduler) harvest() ([]*frame, int) {
 
 // onGrant parks migrated frames for the drivers. Safra receipt rule
 // first — blacken and decrement before any frame becomes executable.
+//
+//hclint:nonblocking
 func (s *Scheduler) onGrant(src int, payload []byte) {
 	s.bar.WorkReceived()
 	fs, err := decodeFrames(payload, s.pool)
@@ -696,6 +701,9 @@ func (s *Scheduler) onGrant(src int, payload []byte) {
 	s.outstanding.Store(false)
 }
 
+// onDeny records a refused steal so the victim policy cools off.
+//
+//hclint:nonblocking
 func (s *Scheduler) onDeny(src int, payload []byte) {
 	s.cfg.Policy.Observe(src, decodeDeny(payload))
 	s.ctr.deniesIn.Add(1)
@@ -703,6 +711,9 @@ func (s *Scheduler) onDeny(src int, payload []byte) {
 	s.outstanding.Store(false)
 }
 
+// onToken feeds a Safra termination token to the barrier bookkeeping.
+//
+//hclint:nonblocking
 func (s *Scheduler) onToken(src int, payload []byte) {
 	if len(payload) < 9 {
 		return
@@ -712,6 +723,9 @@ func (s *Scheduler) onToken(src int, payload []byte) {
 	s.bar.TokenArrived(color, q)
 }
 
+// onDone marks global termination (clean or poisoned by a rank failure).
+//
+//hclint:nonblocking
 func (s *Scheduler) onDone(_ int, payload []byte) {
 	status, failedRank := decodeDone(payload)
 	if status == doneFailed {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hcmpi/internal/bufpool"
+	"hcmpi/internal/mpi"
 )
 
 // Wire protocol of the distributed scheduler. Five reserved tags, all
@@ -21,15 +22,15 @@ import (
 // Only tagStealGrant carries work and participates in termination
 // accounting; everything else is control traffic (see termination.go).
 //
-// The tag block -501..-505 extends the repo's reserved-tag registry
-// (dddf: -201..-203, mpi RMA: -401..-402; the -301..-304 block of the
-// old hand-rolled UTS protocol is retired and stays unused).
+// The tag block -501..-505 is claimed in the module-wide reserved-tag
+// registry (internal/mpi/tags.go; the -301..-304 block of the old
+// hand-rolled UTS protocol is retired and stays unused).
 const (
-	tagStealReq   = -501
-	tagStealGrant = -502
-	tagStealDeny  = -503
-	tagToken      = -504
-	tagDone       = -505
+	tagStealReq   = mpi.TagDistStealReq
+	tagStealGrant = mpi.TagDistStealGrant
+	tagStealDeny  = mpi.TagDistStealDeny
+	tagToken      = mpi.TagDistToken
+	tagDone       = mpi.TagDistDone
 )
 
 // doneClean / doneFailed are tagDone status bytes.

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"testing"
+)
+
+// cgFromSource builds a call graph over a throwaway single-file module.
+func cgFromSource(t *testing.T, src string) *CallGraph {
+	t.Helper()
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"a/a.go": src,
+	})
+	return BuildCallGraph(loadTempModule(t, root))
+}
+
+func nodeNamed(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q in the graph", name)
+	return nil
+}
+
+// edgeTo returns caller's first edge landing on a node with the given
+// display name, or nil.
+func edgeTo(caller *CGNode, name string) *CGEdge {
+	for i := range caller.Out {
+		if caller.Out[i].To.Name == name {
+			return &caller.Out[i]
+		}
+	}
+	return nil
+}
+
+// TestCallGraphStatic pins the plain-call edge sources: direct calls,
+// method calls, go/defer flags, and directly-invoked literals.
+func TestCallGraphStatic(t *testing.T) {
+	g := cgFromSource(t, `package a
+
+type T struct{}
+
+func (T) M() {}
+
+func leaf() {}
+
+func root() {
+	leaf()
+	var v T
+	v.M()
+	go leaf()
+	defer leaf()
+	func() { leaf() }()
+}
+`)
+	root := nodeNamed(t, g, "root")
+
+	e := edgeTo(root, "T.M")
+	if e == nil || e.Dynamic {
+		t.Errorf("method call edge = %+v, want static edge to T.M", e)
+	}
+	if e := edgeTo(root, "root$1"); e == nil || e.Dynamic {
+		t.Errorf("invoked literal edge = %+v, want static edge to root$1", e)
+	}
+	if e := edgeTo(nodeNamed(t, g, "root$1"), "leaf"); e == nil {
+		t.Error("literal body missing its own leaf edge")
+	}
+
+	var plain, spawned, deferred int
+	for _, e := range root.Out {
+		if e.To.Name != "leaf" {
+			continue
+		}
+		switch {
+		case e.Go:
+			spawned++
+		case e.Defer:
+			deferred++
+		default:
+			plain++
+		}
+	}
+	if plain != 1 || spawned != 1 || deferred != 1 {
+		t.Errorf("leaf edges plain/go/defer = %d/%d/%d, want 1/1/1", plain, spawned, deferred)
+	}
+}
+
+// TestCallGraphInterfaceFanOut pins interface dispatch: a call through
+// an interface method fans out to every module implementation as a
+// Dynamic (but not FuncVal) edge, and only to same-named methods.
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	g := cgFromSource(t, `package a
+
+type Runner interface {
+	Run()
+	Stop()
+}
+
+type A struct{}
+
+func (A) Run()  {}
+func (A) Stop() {}
+
+type B struct{}
+
+func (*B) Run()  {}
+func (*B) Stop() {}
+
+type loner struct{}
+
+func (loner) Run() {} // does not implement Runner (no Stop)
+
+func drive(r Runner) {
+	r.Run()
+}
+`)
+	drive := nodeNamed(t, g, "drive")
+	for _, name := range []string{"A.Run", "(*B).Run"} {
+		e := edgeTo(drive, name)
+		if e == nil {
+			t.Errorf("no fan-out edge to %s", name)
+			continue
+		}
+		if !e.Dynamic || e.FuncVal {
+			t.Errorf("edge to %s = %+v, want Dynamic and not FuncVal", name, e)
+		}
+	}
+	if e := edgeTo(drive, "A.Stop"); e != nil {
+		t.Error("Run() call fanned out to the differently-named Stop method")
+	}
+	if e := edgeTo(drive, "loner.Run"); e != nil {
+		t.Error("Run() call fanned out to a type that does not implement Runner")
+	}
+}
+
+// TestCallGraphFuncValue pins stored-function-value dispatch: the call
+// fans out to address-taken functions with element-wise identical
+// signatures, marked FuncVal, and skips both shape-only matches and
+// functions that are never referenced outside call position.
+func TestCallGraphFuncValue(t *testing.T) {
+	g := cgFromSource(t, `package a
+
+func handler(int) {}
+
+func wrongType(string) {} // same shape (1 param, 0 results), different type
+
+func neverTaken(int) {} // signature matches but only ever called directly
+
+var stored func(int)
+
+func install() {
+	stored = handler
+	_ = wrongType // address-taken, so it enters the pool
+	neverTaken(0)
+}
+
+func fire() {
+	stored(7)
+}
+`)
+	fire := nodeNamed(t, g, "fire")
+
+	e := edgeTo(fire, "handler")
+	if e == nil {
+		t.Fatal("no dynamic edge fire → handler")
+	}
+	if !e.Dynamic || !e.FuncVal {
+		t.Errorf("edge fire → handler = %+v, want Dynamic and FuncVal", e)
+	}
+	if e := edgeTo(fire, "wrongType"); e != nil {
+		t.Error("func-value call matched a shape-compatible but type-incompatible candidate")
+	}
+	if e := edgeTo(fire, "neverTaken"); e != nil {
+		t.Error("func-value call matched a function that is never address-taken")
+	}
+	if e := edgeTo(nodeNamed(t, g, "install"), "neverTaken"); e == nil || e.Dynamic {
+		t.Errorf("direct call install → neverTaken = %+v, want static edge", e)
+	}
+}
+
+// TestCallGraphUntakenLiteral pins the literal rules: a stored (not
+// directly invoked) literal gets no creation edge from its encloser,
+// but is reachable through the dynamic pool at a matching call site.
+func TestCallGraphUntakenLiteral(t *testing.T) {
+	g := cgFromSource(t, `package a
+
+func leaf() {}
+
+var cb func()
+
+func store() {
+	cb = func() { leaf() }
+}
+
+func fire() {
+	cb()
+}
+`)
+	if e := edgeTo(nodeNamed(t, g, "store"), "store$1"); e != nil {
+		t.Error("storing a literal produced a call edge from its encloser")
+	}
+	e := edgeTo(nodeNamed(t, g, "fire"), "store$1")
+	if e == nil {
+		t.Fatal("no dynamic edge fire → store$1")
+	}
+	if !e.FuncVal {
+		t.Errorf("edge fire → store$1 = %+v, want FuncVal", e)
+	}
+}
+
+// TestCallGraphNodeFor pins the generic-origin mapping: calls to an
+// instantiated generic function resolve to its single declared node.
+func TestCallGraphNodeFor(t *testing.T) {
+	g := cgFromSource(t, `package a
+
+func id[T any](v T) T { return v }
+
+func use() {
+	_ = id(1)
+	_ = id[string]("x")
+}
+`)
+	use := nodeNamed(t, g, "use")
+	var hits int
+	for _, e := range use.Out {
+		if e.To.Name == "id" {
+			hits++
+			if e.Dynamic {
+				t.Errorf("generic call edge = %+v, want static", e)
+			}
+		}
+	}
+	if hits != 2 {
+		t.Errorf("use → id edges = %d, want both instantiations resolved", hits)
+	}
+}

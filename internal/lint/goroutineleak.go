@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements whose goroutine provably blocks
+// forever: its first channel operation waits on a channel that has no
+// counterpart operation anywhere the channel can be reached. A leaked
+// goroutine pins its stack and captures for the process lifetime — in
+// this runtime that is a rank that never passes the distributed
+// termination check.
+//
+// The analysis only reports when the absence of a counterpart is
+// provable, so every identity question resolves conservatively:
+//
+//   - Channels stored in struct fields or package variables are matched
+//     against operations module-wide; fields owned by packages outside
+//     the module (time.Timer.C, ...) are unknowable and never flagged.
+//   - Local channels are matched within their declaring function; a
+//     local that escapes (passed to a call, returned, stored, sent) is
+//     never flagged.
+//   - Parameters are escaped by construction — the caller holds the
+//     other end.
+//   - A select blocks forever only if EVERY case is provably dead; one
+//     unknown channel (a ctx.Done(), a timer) clears the select, which
+//     is exactly the done-channel escape-hatch pattern.
+//
+// Receives are satisfied by a send or a close; sends only by a receive
+// or a range (sending on a closed channel panics, it does not unblock).
+var GoroutineLeak = &Analyzer{
+	Name: "goroutine-leak",
+	Doc:  "go statements whose goroutine blocks on a channel that provably has no counterpart",
+	RunModule: func(pkgs []*Package) []Finding {
+		return runGoroutineLeak(pkgs)
+	},
+}
+
+// chanUseKind classifies one channel operation for counterpart matching.
+type chanUseKind int
+
+const (
+	useSend chanUseKind = iota
+	useRecv
+	useClose
+	useRange
+)
+
+// chanUse is one channel operation somewhere in the module.
+type chanUse struct {
+	v    *types.Var
+	kind chanUseKind
+	pos  token.Pos
+	decl *ast.FuncDecl // enclosing top-level function (for locals)
+}
+
+// chanID resolves a channel expression to a variable with a stable
+// identity. known=false means the expression is anything the analysis
+// cannot name (a call result, a map element, an out-of-module field).
+func chanID(p *Package, pkgSet map[*types.Package]bool, expr ast.Expr) (v *types.Var, known bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok {
+			return v, true
+		}
+		if v, ok := p.Info.Defs[e].(*types.Var); ok {
+			return v, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() && pkgSet[v.Pkg()] {
+				return v, true
+			}
+			return nil, false
+		}
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && pkgSet[v.Pkg()] {
+			return v, true // qualified package-level var
+		}
+	}
+	return nil, false
+}
+
+func runGoroutineLeak(pkgs []*Package) []Finding {
+	pkgSet := map[*types.Package]bool{}
+	for _, p := range pkgs {
+		if p.Types != nil {
+			pkgSet[p.Types] = true
+		}
+	}
+
+	// Pass 1: index every channel operation in the module, with its
+	// enclosing top-level declaration.
+	var uses []chanUse
+	fdOf := map[*types.Func]*ast.FuncDecl{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					fdOf[fn] = fd
+				}
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					switch v := node.(type) {
+					case *ast.SendStmt:
+						if id, ok := chanID(p, pkgSet, v.Chan); ok {
+							uses = append(uses, chanUse{v: id, kind: useSend, pos: v.Pos(), decl: fd})
+						}
+					case *ast.UnaryExpr:
+						if v.Op == token.ARROW {
+							if id, ok := chanID(p, pkgSet, v.X); ok {
+								uses = append(uses, chanUse{v: id, kind: useRecv, pos: v.Pos(), decl: fd})
+							}
+						}
+					case *ast.RangeStmt:
+						if tv, ok := p.Info.Types[v.X]; ok {
+							if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+								if id, ok := chanID(p, pkgSet, v.X); ok {
+									uses = append(uses, chanUse{v: id, kind: useRange, pos: v.Pos(), decl: fd})
+								}
+							}
+						}
+					case *ast.CallExpr:
+						if isBuiltin(p, v, "close") && len(v.Args) == 1 {
+							if id, ok := chanID(p, pkgSet, v.Args[0]); ok {
+								uses = append(uses, chanUse{v: id, kind: useClose, pos: v.Pos(), decl: fd})
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: examine every go statement's spawned body.
+	var out []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					g, ok := node.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					var bodyPkg *Package
+					var body *ast.BlockStmt
+					switch fun := ast.Unparen(g.Call.Fun).(type) {
+					case *ast.FuncLit:
+						bodyPkg, body = p, fun.Body
+					default:
+						if fn := calleeFunc(p, g.Call); fn != nil {
+							if target, ok := fdOf[origin(fn)]; ok {
+								body = target.Body
+								bodyPkg = pkgOfDecl(pkgs, origin(fn))
+							}
+						}
+					}
+					if body == nil || bodyPkg == nil {
+						return true
+					}
+					if msg := deadBlocking(bodyPkg, pkgSet, body, fd, g, uses); msg != "" {
+						out = append(out, p.findingf("goroutine-leak", g.Pos(), "%s", msg))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+func pkgOfDecl(pkgs []*Package, fn *types.Func) *Package {
+	for _, p := range pkgs {
+		if p.Types == fn.Pkg() {
+			return p
+		}
+	}
+	return nil
+}
+
+// deadBlocking scans the spawned body (nested literals excluded — they
+// run on their own goroutines only if go'd, and if called inline their
+// blocking is beyond this local analysis) for its channel operations in
+// source order and reports the first that provably never unblocks.
+// spawnerDecl is the function containing the go statement; local
+// channels of the *spawned* method body resolve within that body's own
+// declaration, captures within the spawner.
+func deadBlocking(p *Package, pkgSet map[*types.Package]bool, body *ast.BlockStmt,
+	spawnerDecl *ast.FuncDecl, g *ast.GoStmt, uses []chanUse) string {
+
+	var msg string
+	ast.Inspect(body, func(node ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if selHasDefault(v) {
+				return true // never parks
+			}
+			allDead := true
+			for _, c := range v.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					continue
+				}
+				ch, kind, ok := commChan(p, cc.Comm)
+				if !ok {
+					allDead = false
+					break
+				}
+				if !chanDead(p, pkgSet, ch, kind, spawnerDecl, g, uses) {
+					allDead = false
+					break
+				}
+			}
+			if allDead && len(v.Body.List) > 0 {
+				msg = "goroutine blocks forever: every case of this select waits on a channel with no counterpart operation"
+			}
+			// Case bodies run only after a case fires; if none can, the
+			// select is already reported.
+			return false
+		case *ast.SendStmt:
+			if chanDead(p, pkgSet, v.Chan, useSend, spawnerDecl, g, uses) {
+				msg = chanMsg(p, v.Chan, "sends on", "no receive")
+			}
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && chanDead(p, pkgSet, v.X, useRecv, spawnerDecl, g, uses) {
+				msg = chanMsg(p, v.X, "receives from", "no send or close")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if chanDead(p, pkgSet, v.X, useRange, spawnerDecl, g, uses) {
+						msg = chanMsg(p, v.X, "ranges over", "no send or close")
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return msg
+}
+
+func chanMsg(p *Package, ch ast.Expr, verb, missing string) string {
+	name := "a channel"
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		name = "channel " + e.Name
+	case *ast.SelectorExpr:
+		name = "channel " + e.Sel.Name
+	}
+	return "goroutine " + verb + " " + name + " with " + missing +
+		" anywhere the channel reaches; it blocks forever"
+}
+
+// commChan extracts the channel and direction of a select comm clause.
+func commChan(p *Package, comm ast.Stmt) (ast.Expr, chanUseKind, bool) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		return c.Chan, useSend, true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X, useRecv, true
+		}
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			if u, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X, useRecv, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// chanDead reports whether an operation of the given kind on ch can
+// provably never complete.
+func chanDead(p *Package, pkgSet map[*types.Package]bool, ch ast.Expr, kind chanUseKind,
+	spawnerDecl *ast.FuncDecl, g *ast.GoStmt, uses []chanUse) bool {
+
+	v, known := chanID(p, pkgSet, ch)
+	if !known || v == nil {
+		return false
+	}
+	local := !v.IsField() && v.Parent() != nil && v.Pkg() != nil &&
+		v.Parent() != v.Pkg().Scope()
+	if local {
+		// Parameters belong to the caller; the other end is out of view.
+		if isParamOf(p, spawnerDecl, v) || v.Pos() < spawnerDecl.Pos() || v.Pos() > spawnerDecl.End() {
+			return false
+		}
+		if escapes(p, spawnerDecl, v) {
+			return false
+		}
+	}
+	for _, u := range uses {
+		if u.v != v || !counterpart(kind, u.kind) {
+			continue
+		}
+		if u.pos >= g.Pos() && u.pos < g.End() {
+			continue // inside this very goroutine
+		}
+		if local && u.decl != spawnerDecl {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// counterpart reports whether an operation of kind have unblocks one of
+// kind want.
+func counterpart(want, have chanUseKind) bool {
+	switch want {
+	case useSend:
+		return have == useRecv || have == useRange
+	case useRecv, useRange:
+		return have == useSend || have == useClose
+	}
+	return false
+}
+
+func isParamOf(p *Package, fd *ast.FuncDecl, v *types.Var) bool {
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if p.Info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if p.Info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// escapes reports whether a local channel variable leaves the declaring
+// function's hands: any use other than being the operand of a channel
+// operation, a close, a range, or the target of a make assignment.
+func escapes(p *Package, fd *ast.FuncDecl, v *types.Var) bool {
+	sanctioned := map[ast.Node]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			sanctioned[id] = true
+		}
+	}
+	ast.Inspect(fd, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.SendStmt:
+			mark(s.Chan)
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				mark(s.X)
+			}
+		case *ast.RangeStmt:
+			mark(s.X)
+		case *ast.CallExpr:
+			if isBuiltin(p, s, "close") || isBuiltin(p, s, "len") || isBuiltin(p, s, "cap") {
+				for _, a := range s.Args {
+					mark(a)
+				}
+			}
+		case *ast.AssignStmt:
+			// ch := make(chan T) / ch = make(chan T)
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(p, call, "make") {
+						mark(s.Lhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(fd, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || escaped || sanctioned[id] {
+			return !escaped
+		}
+		if p.Info.Uses[id] == v {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}

@@ -35,6 +35,8 @@ import (
 	"go/types"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Finding is one diagnostic: a position, the analyzer that produced it,
@@ -60,6 +62,8 @@ type Package struct {
 	Types  *types.Package
 	Info   *types.Info
 	Errors []error // type errors; analyzers still run best-effort
+
+	allow map[string]map[int]bool // lazily built //hclint:allow index
 }
 
 func (p *Package) position(pos token.Pos) token.Position {
@@ -70,16 +74,23 @@ func (p *Package) findingf(check string, pos token.Pos, format string, args ...a
 	return Finding{Pos: p.position(pos), Check: check, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run; the
+// inter-procedural analyzers (which need the whole-module call graph)
+// set RunModule instead and are invoked once per load with every
+// package in view.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Finding
+	RunModule func(pkgs []*Package) []Finding
 }
 
 // All returns the default analyzer suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, Lifecycle, DDFOnce, HotpathAlloc, TestGoroutine}
+	return []*Analyzer{
+		AtomicMix, Lifecycle, DDFOnce, HotpathAlloc, TestGoroutine,
+		LockOrder, Nonblocking, TagSpace, GoroutineLeak,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection.
@@ -101,15 +112,53 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunAll applies every analyzer to every package and returns the
-// findings sorted by file, line, then check name.
+// RunAll applies every analyzer to every package (module analyzers run
+// once over the whole slice) and returns the findings sorted by file,
+// line, then check name. Findings at positions carrying an
+// `//hclint:allow <reason>` comment are suppressed.
 func RunAll(pkgs []*Package, checks []*Analyzer) []Finding {
+	out, _ := RunAllStats(pkgs, checks)
+	return out
+}
+
+// Stat is one analyzer's contribution to a RunAllStats run. The first
+// module-wide analyzer to run pays for the shared call-graph and
+// blocking-facts construction; later ones hit the cache, so its Elapsed
+// includes the graph build.
+type Stat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// RunAllStats is RunAll with per-analyzer accounting, for the driver's
+// -stats flag and the Makefile lint target.
+func RunAllStats(pkgs []*Package, checks []*Analyzer) ([]Finding, []Stat) {
 	var out []Finding
-	for _, p := range pkgs {
-		for _, a := range checks {
-			out = append(out, a.Run(p)...)
+	stats := make([]Stat, 0, len(checks))
+	for _, a := range checks {
+		start := time.Now()
+		var fs []Finding
+		if a.Run != nil {
+			for _, p := range pkgs {
+				fs = append(fs, filterAllowed(p, a.Run(p))...)
+			}
 		}
+		if a.RunModule != nil {
+			mfs := a.RunModule(pkgs)
+			for _, p := range pkgs {
+				mfs = filterAllowed(p, mfs)
+			}
+			fs = append(fs, mfs...)
+		}
+		stats = append(stats, Stat{Name: a.Name, Findings: len(fs), Elapsed: time.Since(start)})
+		out = append(out, fs...)
 	}
+	sortFindings(out)
+	return out, stats
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,6 +172,55 @@ func RunAll(pkgs []*Package, checks []*Analyzer) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
+}
+
+// allowMarker suppresses one finding with a stated reason, either
+// trailing the flagged line or as a full-line comment directly above:
+//
+//	n.collQueue <- t //hclint:allow collective runner always drains
+const allowMarker = "//hclint:allow"
+
+// allowIndex lazily builds the per-file set of suppressed lines: the
+// line of every //hclint:allow comment and the line after it.
+func (p *Package) allowIndex() map[string]map[int]bool {
+	if p.allow != nil {
+		return p.allow
+	}
+	p.allow = map[string]map[int]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(strings.TrimSpace(c.Text), allowMarker) {
+					continue
+				}
+				pos := p.position(c.Pos())
+				lines := p.allow[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					p.allow[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return p.allow
+}
+
+// filterAllowed drops findings suppressed by //hclint:allow comments in
+// p's files; findings positioned in other packages pass through.
+func filterAllowed(p *Package, fs []Finding) []Finding {
+	idx := p.allowIndex()
+	if len(idx) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if lines, ok := idx[f.Pos.Filename]; ok && lines[f.Pos.Line] {
+			continue
+		}
+		out = append(out, f)
+	}
 	return out
 }
 

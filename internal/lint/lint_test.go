@@ -2,7 +2,6 @@ package lint
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,6 +17,10 @@ var fixtures = map[string]string{
 	"ddf-once":       "ddfonce",
 	"hotpath-alloc":  "hotpath",
 	"test-goroutine": "testgoroutine",
+	"lock-order":     "lockorder",
+	"nonblocking":    "nonblocking",
+	"tag-space":      "tagspace",
+	"goroutine-leak": "goroutineleak",
 }
 
 // TestFixtures runs each analyzer alone over its fixture package and
@@ -63,57 +66,16 @@ func TestFixtures(t *testing.T) {
 			if want := string(wantB); got != want {
 				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
 			}
-			// Cross-check the golden against the // want: markers in the
+			// Cross-check the findings against the // want: markers in the
 			// fixture source, so the two cannot silently drift apart.
-			checkWantMarkers(t, root, got)
-		})
-	}
-}
-
-// checkWantMarkers asserts a 1:1 match between "// want:" comments in
-// the fixture sources and the lines of the rendered golden.
-func checkWantMarkers(t *testing.T, dir, got string) {
-	t.Helper()
-	wanted := map[string]int{} // "file:line" → count
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(data), "\n") {
-			if strings.Contains(line, "// want:") {
-				wanted[fmt.Sprintf("%s:%d", e.Name(), i+1)]++
+			mismatches, err := WantMismatches(root, RunAll([]*Package{pkg}, []*Analyzer{a}))
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	}
-	reported := map[string]int{}
-	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
-		if line == "" {
-			continue
-		}
-		// "file.go:NN: [check] msg" → "file.go:NN"
-		parts := strings.SplitN(line, ":", 3)
-		if len(parts) < 3 {
-			t.Fatalf("unparseable finding %q", line)
-		}
-		reported[parts[0]+":"+parts[1]]++
-	}
-	for pos := range wanted {
-		if reported[pos] == 0 {
-			t.Errorf("fixture marks %s with // want: but no finding was reported there", pos)
-		}
-	}
-	for pos := range reported {
-		if wanted[pos] == 0 {
-			t.Errorf("finding reported at %s but the fixture has no // want: marker there", pos)
-		}
+			for _, m := range mismatches {
+				t.Error(m)
+			}
+		})
 	}
 }
 

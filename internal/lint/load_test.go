@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under t.TempDir().
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadTempModule(t *testing.T, root string, tags ...string) []*Package {
+	t.Helper()
+	l, err := NewLoader(root, tags...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestLoadBuildConstraints checks that //go:build lines select files by
+// the loader's tag set: the debug/release pair must never collide, and
+// passing the tag must flip which declaration is seen.
+func TestLoadBuildConstraints(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":   "module tmod\n\ngo 1.22\n",
+		"a/on.go":  "//go:build flavor\n\npackage a\n\n// V is the gated constant.\nconst V = 1\n",
+		"a/off.go": "//go:build !flavor\n\npackage a\n\n// V is the gated constant.\nconst V = 2\n",
+	})
+	find := func(pkgs []*Package) string {
+		for _, p := range pkgs {
+			if p.Path != "tmod/a" {
+				continue
+			}
+			for _, e := range p.Errors {
+				t.Fatalf("type error: %v", e)
+			}
+			if len(p.Files) != 1 {
+				t.Fatalf("constraint pair collided: %d files loaded", len(p.Files))
+			}
+			c, ok := p.Types.Scope().Lookup("V").(*types.Const)
+			if !ok {
+				t.Fatal("V not found")
+			}
+			return c.Val().String()
+		}
+		t.Fatal("package tmod/a not loaded")
+		return ""
+	}
+	if got := find(loadTempModule(t, root)); got != "2" {
+		t.Errorf("without tag: V = %s, want the !flavor file's 2", got)
+	}
+	if got := find(loadTempModule(t, root, "flavor")); got != "1" {
+		t.Errorf("with tag: V = %s, want the flavor file's 1", got)
+	}
+}
+
+// TestLoadGOOSFileSuffix checks the _GOOS filename convention: a file
+// suffixed with a foreign OS must be skipped entirely.
+func TestLoadGOOSFileSuffix(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":           "module tmod\n\ngo 1.22\n",
+		"a/a.go":           "package a\n\nconst Here = true\n",
+		"a/a_plan9.go":     "package a\n\nconst PlanNine = true\n",
+		"a/a_plan9_arm.go": "package a\n\nconst PlanNineArm = true\n",
+	})
+	for _, p := range loadTempModule(t, root) {
+		if p.Path != "tmod/a" {
+			continue
+		}
+		if p.Types.Scope().Lookup("Here") == nil {
+			t.Error("unconstrained file was not loaded")
+		}
+		if p.Types.Scope().Lookup("PlanNine") != nil {
+			t.Error("a_plan9.go loaded despite the GOOS suffix")
+		}
+		if p.Types.Scope().Lookup("PlanNineArm") != nil {
+			t.Error("a_plan9_arm.go loaded despite the GOOS_GOARCH suffix")
+		}
+		return
+	}
+	t.Fatal("package tmod/a not loaded")
+}
+
+// TestLoadExternalTestUnit checks that a directory with an external
+// _test package yields two analysis units, and that the external unit
+// sees the package under test with its in-package test files applied
+// (the go test augmentation rule).
+func TestLoadExternalTestUnit(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":       "module tmod\n\ngo 1.22\n",
+		"a/a.go":       "package a\n\n// Exported is trivially true.\nfunc Exported() bool { return true }\n",
+		"a/a_test.go":  "package a\n\nfunc helper() bool { return Exported() }\n",
+		"a/ax_test.go": "package a_test\n\nimport \"tmod/a\"\n\nvar _ = a.Exported\n",
+	})
+	pkgs := loadTempModule(t, root)
+	var base, xtest *Package
+	for _, p := range pkgs {
+		switch p.Path {
+		case "tmod/a":
+			base = p
+		case "tmod/a_test":
+			xtest = p
+		}
+	}
+	if base == nil || xtest == nil {
+		t.Fatalf("want units tmod/a and tmod/a_test, got %v", paths(pkgs))
+	}
+	for _, p := range []*Package{base, xtest} {
+		for _, e := range p.Errors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	if len(base.Files) != 2 {
+		t.Errorf("base unit has %d files, want source + in-package test", len(base.Files))
+	}
+	if len(xtest.Files) != 1 {
+		t.Errorf("external unit has %d files, want 1", len(xtest.Files))
+	}
+}
+
+func paths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// TestLoadParseError checks that a syntactically broken file fails the
+// load with a positioned error instead of being silently dropped.
+func TestLoadParseError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module tmod\n\ngo 1.22\n",
+		"a/broken.go": "package a\n\nfunc ( {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadModule(); err == nil {
+		t.Fatal("LoadModule succeeded on a module with a parse error")
+	} else if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error %q does not name the broken file", err)
+	}
+}
+
+// TestLoadPackageDirRejectsExternalTests pins LoadPackageDir's contract:
+// fixture directories are single-package only.
+func TestLoadPackageDirRejectsExternalTests(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fx")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"fx.go":          "package fx\n",
+		"fx_ext_test.go": "package fx_test\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadPackageDir(dir); err == nil {
+		t.Fatal("LoadPackageDir accepted an external test package")
+	}
+}
+
+// TestMatchFileName pins the GOOS/GOARCH filename matrix, including the
+// _test suffix stripping and names that merely look constrained. plan9
+// and windows serve as the guaranteed-foreign platforms (the suite
+// never runs there); the host's own GOOS/GOARCH are the positive cases.
+func TestMatchFileName(t *testing.T) {
+	none := map[string]bool{}
+	host := runtime.GOOS
+	arch := runtime.GOARCH
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"x_" + host + ".go", true},
+		{"x_" + host + "_" + arch + ".go", true},
+		{"x_plan9.go", false},
+		{"x_plan9_test.go", false}, // _test is stripped before matching
+		{"x_plan9_arm.go", false},
+		{"x_windows_amd64.go", false},
+		{"x_" + host + "_plan9_arm.go", false}, // the trailing OS_ARCH pair decides
+		{"by_design.go", true},                 // "design" is neither OS nor arch
+	}
+	for _, c := range cases {
+		if got := matchFileName(c.name, none); got != c.want {
+			t.Errorf("matchFileName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Nonblocking enforces `//hclint:nonblocking` annotations: the marked
+// function, and everything it can reach through ordinary calls, must
+// never park the calling goroutine. The annotation exists for the
+// runtime's single-threaded progress engines — the HCMPI communication
+// worker's dispatch loop, the distributed scheduler's listener
+// callbacks (which run ON the communication worker), and the TCP
+// transport's per-peer writer loop. A blocking operation on any of
+// those paths stalls message progress for the whole rank, the exact
+// failure class the paper's dedicated-communication-worker design
+// exists to prevent.
+//
+// Blocking means: a channel send/receive outside a select with
+// default, a select without default, ranging over a channel,
+// time.Sleep, WaitGroup.Wait, Cond.Wait, or acquiring a *contended*
+// mutex. A mutex is contended when any critical section on it, module
+// wide, can stall the holder (it blocks, nests another lock, or calls
+// something that does); acquiring a mutex whose every critical section
+// is O(1) straight-line code is allowed — that is how the runtime's
+// small leaf locks (listener tables, pending-steal bookkeeping) are
+// used. Deliberate parking points are suppressed line by line with
+// `//hclint:allow <reason>`.
+//
+// `go` statements do not propagate the obligation: spawning hands the
+// blocking behavior to another goroutine, which is precisely the
+// runtime's own escape hatch (the collective runner).
+//
+// Calls through stored function values are likewise not traversed:
+// the address-taken pool over-approximates them so coarsely (any
+// compatible signature, module wide) that a single `f()` would drag in
+// every blocking function in the repository. A function value is a
+// contract boundary — the code that registers the value is responsible
+// for annotating it (the distributed scheduler's listener callbacks
+// are annotated exactly for this reason). Interface dispatch IS
+// traversed: the implementation set is bounded by the type system.
+var Nonblocking = &Analyzer{
+	Name: "nonblocking",
+	Doc:  "//hclint:nonblocking functions must not transitively block the calling goroutine",
+	RunModule: func(pkgs []*Package) []Finding {
+		return runNonblocking(pkgs)
+	},
+}
+
+const nonblockingMarker = "//hclint:nonblocking"
+
+// markerOn reports whether a doc comment carries the given marker on a
+// line of its own.
+func markerOn(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func runNonblocking(pkgs []*Package) []Finding {
+	g, lf := factsFor(pkgs)
+	var out []Finding
+	for _, root := range g.SortedNodes() {
+		if root.Decl == nil || !markerOn(root.Decl.Doc, nonblockingMarker) {
+			continue
+		}
+		out = append(out, checkNonblockingRoot(lf, root)...)
+	}
+	return dedupe(out)
+}
+
+// checkNonblockingRoot walks the non-go call closure of one annotated
+// function and reports every blocking primitive it can reach, at the
+// primitive's own position (so an //hclint:allow on that line vouches
+// for the specific operation, wherever the traversal entered from).
+func checkNonblockingRoot(lf *lockFacts, root *CGNode) []Finding {
+	var out []Finding
+	seen := map[*CGNode]bool{}
+	var path []*CGNode
+	var visit func(n *CGNode)
+	visit = func(n *CGNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		path = append(path, n)
+		defer func() { path = path[:len(path)-1] }()
+		via := ""
+		if len(path) > 1 {
+			via = " (via " + chainString(path) + ")"
+		}
+		for _, op := range lf.ops[n] {
+			switch {
+			case op.hard():
+				out = append(out, n.Pkg.findingf("nonblocking", op.pos,
+					"%s in //hclint:nonblocking %s%s", op.kind, root.Name, via))
+			case op.lock == nil:
+				out = append(out, n.Pkg.findingf("nonblocking", op.pos,
+					"acquisition of unresolvable mutex in //hclint:nonblocking %s%s", root.Name, via))
+			case lf.contended[op.lock]:
+				out = append(out, n.Pkg.findingf("nonblocking", op.pos,
+					"acquisition of contended mutex %s in //hclint:nonblocking %s%s (a critical section on %s can block)",
+					op.lock.Name(), root.Name, via, op.lock.Name()))
+			}
+		}
+		for _, e := range n.Out {
+			if e.Go {
+				continue // spawned work blocks its own goroutine
+			}
+			if e.FuncVal {
+				continue // contract boundary: the registered value carries its own annotation
+			}
+			visit(e.To)
+		}
+	}
+	visit(root)
+	return out
+}

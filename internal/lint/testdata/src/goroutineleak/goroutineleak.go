@@ -1,0 +1,86 @@
+// Package goroutineleak exercises the goroutine-leak analyzer: spawned
+// goroutines parked on channels that provably have no counterpart
+// operation, and every conservative out — counterparts elsewhere in
+// the module, escaping locals, parameters, and unknown channels.
+package goroutineleak
+
+type hub struct {
+	events chan int // no send or close anywhere: receivers leak
+	feed   chan int // produce() feeds it: receivers are fine
+	dead   chan int // touched only inside leakySelect's goroutine
+	tick   chan int // dead too, but okSelectDone pairs it with done
+}
+
+func (h *hub) leakyField() {
+	go func() { // want: ranges over a channel nobody sends to
+		for range h.events {
+		}
+	}()
+}
+
+func (h *hub) spawnMethod() {
+	go h.drainEvents() // want: the method parks on the same dead channel
+}
+
+func (h *hub) drainEvents() {
+	<-h.events
+}
+
+func (h *hub) okField() {
+	go func() {
+		for range h.feed {
+		}
+	}()
+}
+
+func (h *hub) produce() {
+	h.feed <- 1
+	close(h.feed)
+}
+
+func (h *hub) leakySelect() {
+	go func() { // want: every select case waits on a dead channel
+		select {
+		case <-h.dead:
+		case h.dead <- 1:
+		}
+	}()
+}
+
+// okSelectDone: the done parameter belongs to the caller, so the
+// select has an exit the analysis cannot rule out.
+func (h *hub) okSelectDone(done <-chan struct{}) {
+	go func() {
+		select {
+		case <-h.tick:
+		case <-done:
+		}
+	}()
+}
+
+func leakyLocal() {
+	results := make(chan int)
+	go func() { // want: sends on a channel nobody reads
+		results <- 42
+	}()
+}
+
+func okLocal() int {
+	results := make(chan int)
+	go func() {
+		results <- 42
+	}()
+	return <-results
+}
+
+func okEscape() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	consume(ch)
+}
+
+func consume(ch chan int) {
+	<-ch
+}

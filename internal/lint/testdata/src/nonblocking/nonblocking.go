@@ -1,0 +1,66 @@
+// Package nonblocking exercises the //hclint:nonblocking annotation:
+// direct and transitive blocking operations, the contended-mutex
+// refinement (O(1) leaf locks are allowed, locks someone holds across
+// a sleep are not), and the //hclint:allow escape hatch.
+package nonblocking
+
+import (
+	"sync"
+	"time"
+)
+
+type worker struct {
+	mu    sync.Mutex // every critical section is O(1): acquiring is fine
+	slow  sync.Mutex // slowPath holds it across a sleep: contended
+	state int
+	inbox chan int
+	outq  chan int
+}
+
+// poll is a progress-engine loop body: it may spin, but never park.
+//
+//hclint:nonblocking
+func (w *worker) poll() {
+	select { // non-blocking: has a default clause
+	case v := <-w.inbox:
+		w.state = v
+	default:
+	}
+	w.mu.Lock() // fine: mu's critical sections are all O(1)
+	w.state++
+	w.mu.Unlock()
+	w.outq <- w.state            // want: channel send
+	w.drain()                    // blocking one call deep
+	time.Sleep(time.Microsecond) // want: time.Sleep
+	w.slow.Lock()                // want: contended mutex
+	w.state++
+	w.slow.Unlock()
+}
+
+func (w *worker) drain() {
+	<-w.inbox // want: reached via poll → drain
+}
+
+// slowPath is not annotated — it may block — but holding slow across a
+// sleep is what makes slow contended for poll above.
+func (w *worker) slowPath() {
+	w.slow.Lock()
+	time.Sleep(time.Millisecond)
+	w.slow.Unlock()
+}
+
+// vetted documents a deliberate parking point: the send is guaranteed
+// room by construction, and the annotation records why.
+//
+//hclint:nonblocking
+func (w *worker) vetted() {
+	w.outq <- w.state //hclint:allow ring sized to worst-case burst, send cannot park
+}
+
+// spawner hands blocking work to another goroutine: go statements do
+// not propagate the obligation.
+//
+//hclint:nonblocking
+func (w *worker) spawner() {
+	go w.slowPath()
+}

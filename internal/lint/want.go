@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Want-marker verification: fixture packages annotate each line that
+// must produce a diagnostic with a trailing `// want: <hint>` comment.
+// WantMismatches cross-checks a run's findings against those markers in
+// both directions, so a fixture and its analyzer cannot silently drift
+// apart. The driver's -want flag and the fixture tests share this code.
+
+// WantMismatches compares findings against the `// want:` markers in
+// dir's .go files and returns a human-readable description of every
+// divergence: a marked line with no finding, or a finding on an
+// unmarked line. Matching is positional (file basename + line), not
+// textual — the marker hint is for the human reader.
+func WantMismatches(dir string, findings []Finding) ([]string, error) {
+	wanted := map[string]int{} // "file.go:NN" → marker count
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "// want:") {
+				wanted[fmt.Sprintf("%s:%d", e.Name(), i+1)]++
+			}
+		}
+	}
+	reported := map[string]int{}
+	for _, f := range findings {
+		reported[fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)]++
+	}
+	var out []string
+	for pos := range wanted {
+		if reported[pos] == 0 {
+			out = append(out, fmt.Sprintf("%s: marked // want: but no finding reported", pos))
+		}
+	}
+	for pos := range reported {
+		if wanted[pos] == 0 {
+			out = append(out, fmt.Sprintf("%s: finding reported but no // want: marker", pos))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

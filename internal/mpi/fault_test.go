@@ -141,7 +141,7 @@ func TestCrashedRankFailsPending(t *testing.T) {
 	c0, c1 := w.Comm(0), w.Comm(1)
 
 	buf := make([]byte, 8)
-	pending := c0.Irecv(buf, 2, 5)       // satisfiable only by rank 2
+	pending := c0.Irecv(buf, 2, 5) // satisfiable only by rank 2
 	anybuf := make([]byte, 8)
 	anyReq := c0.Irecv(anybuf, AnySource, 6) // must survive the crash
 

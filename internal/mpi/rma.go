@@ -30,9 +30,11 @@ const (
 	rmaGetResp
 )
 
+// The RMA block of the reserved-tag registry (tags.go): one-sided
+// data/requests handled at the target, and get responses.
 const (
-	tagRMA     = -401 // one-sided data/requests, handled at the target
-	tagRMAResp = -402 // get responses
+	tagRMA     = TagRMA
+	tagRMAResp = TagRMAResp
 )
 
 // Win is an RMA window over a local buffer, symmetric across ranks.

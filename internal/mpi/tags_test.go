@@ -1,0 +1,45 @@
+package mpi
+
+import "testing"
+
+// TestReservedTagRegistry pins the registry's structural invariants:
+// every block is negative, internally ordered, disjoint from every
+// other block, and disjoint from the user and collective tag spaces.
+// The subsystems alias their protocol constants from tags.go, so a
+// drifting block would shift a live protocol — this test is the fence.
+func TestReservedTagRegistry(t *testing.T) {
+	for i, r := range ReservedTagRanges {
+		if r.Lo > r.Hi {
+			t.Errorf("%s: Lo %d > Hi %d", r.Name, r.Lo, r.Hi)
+		}
+		if r.Hi >= 0 {
+			t.Errorf("%s: reserved block [%d,%d] reaches into user tag space", r.Name, r.Lo, r.Hi)
+		}
+		if r.Name == "" || r.Owner == "" {
+			t.Errorf("range %d: missing name or owner", i)
+		}
+		for _, s := range ReservedTagRanges[i+1:] {
+			if r.Lo <= s.Hi && s.Lo <= r.Hi {
+				t.Errorf("blocks %s [%d,%d] and %s [%d,%d] overlap",
+					r.Name, r.Lo, r.Hi, s.Name, s.Lo, s.Hi)
+			}
+		}
+	}
+	for tag, want := range map[int]string{
+		TagDistStealReq: "distsched", TagDistDone: "distsched",
+		TagRMA: "rma", TagRMAResp: "rma",
+		TagDDDFRegister: "dddf", TagDDDFPutFwd: "dddf",
+		TagTCPHeartbeat: "tcp-heartbeat",
+	} {
+		r, ok := ReservedRangeOf(tag)
+		if !ok || r.Name != want {
+			t.Errorf("ReservedRangeOf(%d) = %v, %v; want block %s", tag, r, ok, want)
+		}
+	}
+	if _, ok := ReservedRangeOf(-1); ok {
+		t.Error("ReservedRangeOf(-1) claimed a block; -1 is unregistered")
+	}
+	if _, ok := ReservedRangeOf(7); ok {
+		t.Error("ReservedRangeOf(7) claimed a block; user tags are unregistered")
+	}
+}

@@ -45,11 +45,12 @@ import (
 // into a single flush.
 const tcpMaxBatch = 64
 
-// tcpTagHeartbeat is the wire tag of keepalive frames. It sits far
-// outside every tag space (user tags are [0, maxUserTag), collective
-// tags >= maxUserTag, reserved tags are small negatives), and the reader
-// consumes it before the matching layer ever sees it.
-const tcpTagHeartbeat = -1 << 62
+// tcpTagHeartbeat is the wire tag of keepalive frames (registered in
+// tags.go). It sits far outside every tag space (user tags are
+// [0, maxUserTag), collective tags >= maxUserTag, reserved tags are
+// small negatives), and the reader consumes it before the matching
+// layer ever sees it.
+const tcpTagHeartbeat = TagTCPHeartbeat
 
 // distConfig collects Distributed's tunables.
 type distConfig struct {
@@ -446,13 +447,16 @@ func takeBatch(p *tcpPeer, batch []outFrame) []outFrame {
 // writer is the per-peer asynchronous send loop: block for one frame,
 // coalesce whatever else is queued, write the batch, and flush once.
 // This is what keeps socket writes (and their latency) off the sender's
-// hot path.
+// hot path. Apart from the head-of-loop park below it must stay
+// non-blocking: completions it publishes feed the communication worker.
+//
+//hclint:nonblocking
 func (m *tcpMesh) writer(p *tcpPeer) {
 	defer m.writers.Done()
 	batch := make([]outFrame, 0, tcpMaxBatch)
 	for {
 		var f outFrame
-		select {
+		select { //hclint:allow head-of-loop park: the writer sleeps here until a frame, peer death, or shutdown wakes it
 		case f = <-p.outq:
 		case <-p.down:
 			m.failPending(p)
@@ -539,7 +543,7 @@ func (m *tcpMesh) failBatch(batch []outFrame) {
 // behind the failure flag — until the mesh itself closes.
 func (m *tcpMesh) failPending(p *tcpPeer) {
 	for {
-		select {
+		select { //hclint:allow the peer is dead: the writer's only remaining job is to pump this drain until Close
 		case f := <-p.outq:
 			m.failFrame(&f)
 		case <-m.closing:

@@ -202,7 +202,7 @@ func (r *Reg) Signal() {
 	p.arrived++
 	p.cfg.Trace.Emit(trace.EvPhaserSignal, myPhase, int64(p.arrived))
 	if p.arrived == 1 && p.cfg.Hooks.OnFirstArrival != nil {
-		p.cfg.Hooks.OnFirstArrival(myPhase)
+		p.cfg.Hooks.OnFirstArrival(myPhase) //hclint:allow Hooks contract: OnFirstArrival runs under p.mu and must not block
 	}
 	p.checkCompleteLocked()
 }
@@ -257,7 +257,7 @@ func (r *Reg) next(v any, hasVal bool) {
 		}
 	}
 	if p.arrived == 1 && p.cfg.Hooks.OnFirstArrival != nil {
-		p.cfg.Hooks.OnFirstArrival(myPhase)
+		p.cfg.Hooks.OnFirstArrival(myPhase) //hclint:allow Hooks contract: OnFirstArrival runs under p.mu and must not block
 	}
 	released := p.checkCompleteLocked()
 
@@ -285,7 +285,7 @@ func (p *Phaser) waitLocked(ready func() bool) {
 		p.mu.Unlock()
 		p.cfg.Waiter(func() bool {
 			p.mu.Lock()
-			ok := ready()
+			ok := ready() //hclint:allow Waiter contract: the readiness predicate is a cheap field check, never a park
 			p.mu.Unlock()
 			return ok
 		})

@@ -190,7 +190,7 @@ func (w *hybridThread) idlePhase() {
 	} else if len(h.pool) == 0 && !h.done {
 		// Cancellable wait: woken by offload broadcasts, work arrival, or
 		// termination. Bounded so MPI keeps being polled.
-		waitWithTimeout(h.poolCond, &h.poolMu, 50*time.Microsecond)
+		waitWithTimeout(h.poolCond, &h.poolMu, 50*time.Microsecond) //hclint:allow poolCond is NewCond(&poolMu); Wait releases poolMu, association is through the parameters
 	}
 	h.idle--
 	h.poolMu.Unlock()
