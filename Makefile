@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-debug verify test chaos lint lint-fix-check vet trace-demo bench bench-smoke conformance smoke-distributed
+.PHONY: tier1 tier1-debug verify test chaos lint lint-sarif lint-fix-check vet trace-demo bench bench-smoke conformance smoke-distributed
 
 # Fast correctness gate: what the seed repo guarantees.
 tier1:
@@ -40,15 +40,26 @@ conformance:
 smoke-distributed:
 	$(GO) test -count=1 -v ./cmd/hcmpirun/
 
-# Static analysis gate: go vet plus hclint's nine HCMPI-specific
+# Static analysis gate: go vet plus hclint's twelve HCMPI-specific
 # analyzers — five intra-procedural (atomic-mix, lifecycle, ddf-once,
-# hotpath-alloc, test-goroutine) and four over the module call graph
-# (lock-order, nonblocking, tag-space, goroutine-leak). -stats prints
-# per-analyzer finding counts and wall time; non-zero exit on any
-# finding.
+# hotpath-alloc, test-goroutine), four over the module call graph
+# (lock-order, nonblocking, tag-space, goroutine-leak), and three
+# dataflow analyzers over per-function CFGs (request-leak,
+# buffer-reuse, collective-divergence). -stats prints per-analyzer
+# finding counts and wall time; -audit-allow additionally fails the
+# build on any //hclint:allow comment that suppresses nothing, so
+# stale waivers cannot accumulate. Non-zero exit on any finding.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/hclint -stats .
+	$(GO) run ./cmd/hclint -stats -audit-allow .
+
+# SARIF artifact for CI code-scanning upload: the same run rendered as
+# SARIF 2.1.0 (findings plus every //hclint:allow suppression with its
+# justification), then structurally re-validated by the offline
+# validator.
+lint-sarif:
+	$(GO) run ./cmd/hclint -audit-allow -sarif hclint.sarif .
+	$(GO) run ./cmd/hclint -validate-sarif hclint.sarif
 
 # Fixture cross-check: drive every analyzer's known-bad testdata
 # package through the real hclint binary in want-marker mode, one
@@ -58,7 +69,9 @@ LINT_FIXTURES = \
 	atomic-mix:atomicmix lifecycle:lifecycle ddf-once:ddfonce \
 	hotpath-alloc:hotpath test-goroutine:testgoroutine \
 	lock-order:lockorder nonblocking:nonblocking \
-	tag-space:tagspace goroutine-leak:goroutineleak
+	tag-space:tagspace goroutine-leak:goroutineleak \
+	request-leak:requestleak buffer-reuse:bufferreuse \
+	collective-divergence:collectivediv
 
 lint-fix-check:
 	@for pair in $(LINT_FIXTURES); do \

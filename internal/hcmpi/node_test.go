@@ -47,7 +47,7 @@ func TestFinishAroundIrecv(t *testing.T) {
 	runNodes(t, 2, 2, func(n *Node, ctx *hc.Ctx) {
 		switch n.Rank() {
 		case 0:
-			n.Isend([]byte{42}, 1, 0)
+			n.Isend([]byte{42}, 1, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		case 1:
 			buf := make([]byte, 1)
 			var asyncRan atomic.Bool
@@ -70,7 +70,7 @@ func TestAwaitModel(t *testing.T) {
 	runNodes(t, 2, 2, func(n *Node, ctx *hc.Ctx) {
 		switch n.Rank() {
 		case 0:
-			n.Isend([]byte("data"), 1, 3)
+			n.Isend([]byte("data"), 1, 3) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		case 1:
 			buf := make([]byte, 4)
 			done := make(chan string, 1)
@@ -92,7 +92,7 @@ func TestWaitAndStatusModel(t *testing.T) {
 	runNodes(t, 2, 2, func(n *Node, ctx *hc.Ctx) {
 		switch n.Rank() {
 		case 0:
-			n.Isend(mpi.EncodeInt64s([]int64{1, 2, 3, 4}), 1, 0)
+			n.Isend(mpi.EncodeInt64s([]int64{1, 2, 3, 4}), 1, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		case 1:
 			buf := make([]byte, 64)
 			req := n.Irecv(buf, 0, 0)
@@ -113,7 +113,7 @@ func TestGetStatusBeforeCompletionIsError(t *testing.T) {
 	runNodes(t, 2, 1, func(n *Node, ctx *hc.Ctx) {
 		if n.Rank() != 1 {
 			n.Barrier(ctx)
-			n.Isend([]byte{1}, 1, 0)
+			n.Isend([]byte{1}, 1, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 			return
 		}
 		buf := make([]byte, 1)
@@ -132,7 +132,7 @@ func TestWaitAllAndWaitAny(t *testing.T) {
 		switch n.Rank() {
 		case 0:
 			for i := 0; i < k; i++ {
-				n.Isend([]byte{byte(i)}, 1, i)
+				n.Isend([]byte{byte(i)}, 1, i) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 			}
 		case 1:
 			bufs := make([][]byte, k)
@@ -315,7 +315,7 @@ func TestOverlapComputationWithCommunication(t *testing.T) {
 	runNodesNet(t, 2, 2, netsim.Params{InterLatency: 3 * time.Millisecond}, func(n *Node, ctx *hc.Ctx) {
 		switch n.Rank() {
 		case 0:
-			n.Isend([]byte{1}, 1, 0)
+			n.Isend([]byte{1}, 1, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		case 1:
 			buf := make([]byte, 1)
 			var computed atomic.Int64
@@ -357,7 +357,7 @@ func TestManyNodesManyWorkers(t *testing.T) {
 		prev := (n.Rank() - 1 + ranks) % ranks
 		buf := make([]byte, 8)
 		req := n.Irecv(buf, prev, 0)
-		n.Isend(mpi.EncodeInt64(int64(n.Rank())), next, 0)
+		n.Isend(mpi.EncodeInt64(int64(n.Rank())), next, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		n.Wait(ctx, req)
 		if mpi.DecodeInt64(buf) != int64(prev) {
 			t.Errorf("rank %d got %d want %d", n.Rank(), mpi.DecodeInt64(buf), prev)

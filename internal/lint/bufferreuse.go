@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufferReuse enforces the nonblocking protocol's second obligation:
+// a buffer handed to Isend/Irecv/Win.Put belongs to the library until
+// the matching completion. Touching it earlier is the classic
+// reuse-after-post race (Sala et al. §3.2; Schuchart et al. §2): the
+// transport may still be reading (send) or writing (recv) the memory,
+// so a store, an in-place append, a copy-into, recycling the buffer to
+// a pool, or re-posting it is a silent data race that -race only
+// catches when the interleaving cooperates.
+//
+// The analysis is a forward may-analysis over the CFG: a post on a
+// local buffer generates an in-flight fact (paired with the request
+// variable when the post's result is assigned); completing the request
+// — or rebinding either variable — kills it. While a fact is live,
+// writes through the buffer (`buf[i] = x`, `copy(buf, ..)`,
+// `append(buf, ..)`), handing it to a pool-style recycler, and posting
+// it again are reported. Reads are deliberately not flagged: reading a
+// posted send buffer is legal, and flagging reads of recv buffers
+// would drown the one real race class in noise.
+var BufferReuse = &Analyzer{
+	Name:      "buffer-reuse",
+	Doc:       "a posted buffer must not be written, recycled, or re-posted before its completion",
+	RunModule: runBufferReuse,
+}
+
+// bufPostFact is one in-flight posted buffer: the buffer variable, the
+// request variable completing it (nil when the post was
+// fire-and-forget), and the post site for diagnostics.
+type bufPostFact struct {
+	buf  *types.Var
+	req  *types.Var
+	post string
+	pos  token.Pos
+}
+
+func runBufferReuse(pkgs []*Package) []Finding {
+	g, _ := factsFor(pkgs)
+	var out []Finding
+	for _, n := range g.SortedNodes() {
+		if n.Body != nil {
+			out = append(out, reuseScanBody(n)...)
+		}
+	}
+	return dedupe(out)
+}
+
+// postBufferArg returns the buffer argument of a post call: the first
+// argument for the buffered posts, none for Ibarrier/IrecvAdopt/
+// IrecvBytes/Get.
+func postBufferArg(fn *types.Func, call *ast.CallExpr) (ast.Expr, bool) {
+	switch fn.Name() {
+	case "Isend", "Irecv", "Ibcast", "Iallreduce", "Put", "Accumulate":
+		if len(call.Args) > 0 {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+func reuseScanBody(n *CGNode) []Finding {
+	p := n.Pkg
+	parents := parentsOf(n.Body)
+
+	// Buffers captured by closures may be completed/written elsewhere;
+	// leave them alone.
+	captured := map[*types.Var]bool{}
+	for _, f := range funcLits(n.Body) {
+		ast.Inspect(f.Body, func(node ast.Node) bool {
+			if id, ok := node.(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok {
+					captured[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// postAt resolves a node's post call (if any) to (buf, req) vars.
+	postIn := func(node ast.Node) []bufPostFact {
+		var posts []bufPostFact
+		ast.Inspect(node, func(inner ast.Node) bool {
+			if _, ok := inner.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := postCallOf(p, call)
+			if !ok {
+				return true
+			}
+			// Chained completion `post(buf).Wait()` closes the in-flight
+			// window before the next statement: no fact.
+			if sel, ok := unparenParent(parents, call).(*ast.SelectorExpr); ok {
+				if completeMethodNames[sel.Sel.Name] {
+					return true
+				}
+			}
+			bufExpr, ok := postBufferArg(fn, call)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(bufExpr).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			buf := localVarOf(p, id)
+			if buf == nil || captured[buf] {
+				return true
+			}
+			f := bufPostFact{buf: buf, post: fn.Name(), pos: call.Pos()}
+			if as, ok := unparenParent(parents, call).(*ast.AssignStmt); ok {
+				for i, rhs := range as.Rhs {
+					if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+						if rid, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+							if r := localVarOf(p, rid); r != nil && !captured[r] {
+								f.req = r
+							}
+						}
+					}
+				}
+			}
+			posts = append(posts, f)
+			return true
+		})
+		return posts
+	}
+
+	// Per-node effect extraction, shared by the transfer function and
+	// the reporting replay.
+	type nodeEffect struct {
+		writes   []writeHazard
+		killVars map[*types.Var]bool // assigned or completed vars
+		gens     []bufPostFact
+	}
+	effectOf := func(node ast.Node) nodeEffect {
+		e := nodeEffect{killVars: map[*types.Var]bool{}}
+		ast.Inspect(node, func(inner ast.Node) bool {
+			if _, ok := inner.(*ast.FuncLit); ok {
+				return false
+			}
+			switch v := inner.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if root := writtenRoot(p, lhs); root != nil {
+						e.writes = append(e.writes, writeHazard{root, "written", lhs.Pos()})
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if w := localVarOf(p, id); w != nil {
+							e.killVars[w] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if root := writtenRoot(p, v.X); root != nil {
+					e.writes = append(e.writes, writeHazard{root, "written", v.X.Pos()})
+				}
+			case *ast.ValueSpec:
+				for _, name := range v.Names {
+					if w := localVarOf(p, name); w != nil {
+						e.killVars[w] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if v.Op == token.AND {
+					// &buf or &buf[i]: address escapes — stop tracking
+					// rather than guess (treated as a kill).
+					if root := rootIdentVar(p, v.X); root != nil {
+						e.killVars[root] = true
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltin(p, v, "copy") && len(v.Args) > 0 {
+					if root := rootIdentVar(p, v.Args[0]); root != nil {
+						e.writes = append(e.writes, writeHazard{root, "written by copy", v.Pos()})
+					}
+				}
+				if isBuiltin(p, v, "append") && len(v.Args) > 0 {
+					if root := rootIdentVar(p, v.Args[0]); root != nil {
+						e.writes = append(e.writes, writeHazard{root, "appended to in place", v.Pos()})
+					}
+				}
+				if fn := calleeFunc(p, v); fn != nil && poolRecycler(fn) {
+					for _, a := range v.Args {
+						if root := rootIdentVar(p, a); root != nil {
+							e.writes = append(e.writes, writeHazard{root, "recycled to a pool", v.Pos()})
+						}
+					}
+				}
+			case *ast.Ident:
+				// A use of a request variable in any non-defining
+				// position conservatively completes it (Wait/Test/
+				// WaitAll(..)/escape all end the in-flight window).
+				if w, ok := p.Info.Uses[v].(*types.Var); ok {
+					if isRequestType(w.Type()) {
+						e.killVars[w] = true
+					}
+				}
+			}
+			return true
+		})
+		e.gens = postIn(node)
+		return e
+	}
+
+	cfg := BuildCFG(n.Body)
+	var out []Finding
+
+	transferNode := func(node ast.Node, facts factSet) factSet {
+		eff := effectOf(node)
+		for k := range facts.m {
+			f := k.(bufPostFact)
+			if eff.killVars[f.buf] || (f.req != nil && eff.killVars[f.req]) {
+				facts = facts.Without(k)
+			}
+		}
+		for _, g := range eff.gens {
+			facts = facts.With(g)
+		}
+		return facts
+	}
+	transfer := func(b *CFGBlock, in factSet) factSet {
+		return foldBlock(b, in, true, transferNode)
+	}
+	in, _ := solveDF(cfg, dfProblem{forward: true, boundary: emptyFacts(), transfer: transfer})
+
+	// Reporting replay: at each node, check hazards against the facts
+	// flowing in, then apply its transfer.
+	for _, b := range cfg.Blocks {
+		facts := in[b]
+		for _, node := range b.Nodes {
+			eff := effectOf(node)
+			for _, w := range eff.writes {
+				for k := range facts.m {
+					f := k.(bufPostFact)
+					if f.buf == w.root {
+						pos := p.position(f.pos)
+						out = append(out, p.findingf("buffer-reuse", w.pos,
+							"buffer %s is %s while posted by %s at %s:%d — the library owns it until the request completes",
+							f.buf.Name(), w.kind, f.post, relBase(pos.Filename), pos.Line))
+					}
+				}
+			}
+			for _, g := range eff.gens {
+				for k := range facts.m {
+					f := k.(bufPostFact)
+					if f.buf == g.buf {
+						pos := p.position(f.pos)
+						out = append(out, p.findingf("buffer-reuse", g.pos,
+							"buffer %s re-posted by %s while still posted by %s at %s:%d — complete the first request before reusing the buffer",
+							f.buf.Name(), g.post, f.post, relBase(pos.Filename), pos.Line))
+					}
+				}
+			}
+			facts = transferNode(node, facts)
+		}
+	}
+	return out
+}
+
+// writeHazard is one store through a tracked buffer.
+type writeHazard struct {
+	root *types.Var
+	kind string
+	pos  token.Pos
+}
+
+// writtenRoot returns the buffer variable written through an index,
+// slice, or star expression (`buf[i]`, `buf[i:j]`, `*buf`); a plain
+// identifier LHS is a rebind, not a write.
+func writtenRoot(p *Package, lhs ast.Expr) *types.Var {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		return rootIdentVar(p, v.X)
+	case *ast.SliceExpr:
+		return rootIdentVar(p, v.X)
+	case *ast.StarExpr:
+		return rootIdentVar(p, v.X)
+	}
+	return nil
+}
+
+// rootIdentVar resolves the base identifier of an index/slice/selector
+// chain to its local variable.
+func rootIdentVar(p *Package, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return localVarOf(p, v)
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// poolRecycler reports whether fn is a pool-style recycler: Put/
+// Release/Free/Recycle on a pool package or pool-named receiver.
+func poolRecycler(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Put", "Release", "Free", "Recycle":
+	default:
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			if containsFold(named.Obj().Name(), "pool") {
+				return true
+			}
+		}
+	}
+	return fn.Pkg() != nil && containsFold(fn.Pkg().Path(), "pool")
+}
+
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			c, d := s[i+j], sub[j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != d {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and returns its AST.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(c bool, n int) {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// findCall returns the ExprStmt invoking the named function.
+func findCall(t *testing.T, body *ast.BlockStmt, name string) ast.Node {
+	t.Helper()
+	var out ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				out = es
+				return false
+			}
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no call to %s in body", name)
+	}
+	return out
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	body := parseBody(t, `
+		x := 1
+		if c {
+			x = 2
+		} else {
+			x = 3
+		}
+		join()
+	`)
+	cfg := BuildCFG(body)
+	joinBlk := cfg.BlockOf(findCall(t, body, "join"))
+	if joinBlk == nil {
+		t.Fatal("join() not indexed")
+	}
+	if len(joinBlk.Preds) != 2 {
+		t.Fatalf("join block has %d preds, want 2 (then + else):\n%s", len(joinBlk.Preds), cfg)
+	}
+	if !cfg.Reachable(joinBlk) || !cfg.Reachable(cfg.Exit) {
+		t.Fatalf("join/exit unreachable:\n%s", cfg)
+	}
+}
+
+func TestCFGMissingElseBypass(t *testing.T) {
+	body := parseBody(t, `
+		if c {
+			thenOnly()
+		}
+		join()
+	`)
+	cfg := BuildCFG(body)
+	joinBlk := cfg.BlockOf(findCall(t, body, "join"))
+	if len(joinBlk.Preds) != 2 {
+		t.Fatalf("if without else: join has %d preds, want 2 (then + bypass):\n%s", len(joinBlk.Preds), cfg)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	body := parseBody(t, `
+		for i := 0; i < n; i++ {
+			inLoop()
+		}
+		after()
+	`)
+	cfg := BuildCFG(body)
+	var fr *ast.ForStmt
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if f, ok := nd.(*ast.ForStmt); ok {
+			fr = f
+			return false
+		}
+		return true
+	})
+	head := cfg.BlockOf(fr.Cond)
+	if head == nil {
+		t.Fatal("loop condition not indexed")
+	}
+	// Head is entered from the init fall-through AND from the post block:
+	// the back edge must be explicit.
+	if len(head.Preds) != 2 {
+		t.Fatalf("loop head has %d preds, want 2 (entry + back edge):\n%s", len(head.Preds), cfg)
+	}
+	bodyBlk := cfg.BlockOf(findCall(t, body, "inLoop"))
+	onCycle := false
+	for _, s := range bodyBlk.Succs {
+		if cfg.BlockOf(fr.Post) == s {
+			onCycle = true
+		}
+	}
+	if !onCycle {
+		t.Fatalf("loop body does not flow into the post block:\n%s", cfg)
+	}
+	if after := cfg.BlockOf(findCall(t, body, "after")); !cfg.Reachable(after) {
+		t.Fatalf("code after loop unreachable:\n%s", cfg)
+	}
+}
+
+func TestCFGDeferRegistration(t *testing.T) {
+	body := parseBody(t, `
+		defer cleanup()
+		if c {
+			return
+		}
+		tail()
+	`)
+	cfg := BuildCFG(body)
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(cfg.Defers))
+	}
+	// The registration stays in its block as an ordinary node, so
+	// "must eventually happen" analyses see it on every path that
+	// executes the registration — both the early return and the
+	// fall-through exit.
+	if blk := cfg.BlockOf(cfg.Defers[0]); blk == nil || !cfg.Reachable(blk) {
+		t.Fatalf("defer registration not indexed/reachable:\n%s", cfg)
+	}
+	if !cfg.Reachable(cfg.BlockOf(findCall(t, body, "tail"))) {
+		t.Fatalf("tail unreachable:\n%s", cfg)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	body := parseBody(t, `
+		live()
+		return
+		dead()
+	`)
+	cfg := BuildCFG(body)
+	deadBlk := cfg.BlockOf(findCall(t, body, "dead"))
+	if deadBlk == nil {
+		t.Fatal("dead() not indexed — unreachable code must stay in the graph")
+	}
+	if len(deadBlk.Preds) != 0 || cfg.Reachable(deadBlk) {
+		t.Fatalf("code after return is reachable:\n%s", cfg)
+	}
+	if !cfg.Reachable(cfg.Exit) {
+		t.Fatalf("exit unreachable:\n%s", cfg)
+	}
+}
+
+func TestCFGTerminalCalls(t *testing.T) {
+	body := parseBody(t, `
+		if c {
+			panic("boom")
+		}
+		join()
+	`)
+	cfg := BuildCFG(body)
+	joinBlk := cfg.BlockOf(findCall(t, body, "join"))
+	// panic terminates the then-branch: only the bypass edge reaches join.
+	if len(joinBlk.Preds) != 1 {
+		t.Fatalf("join after panic-branch has %d preds, want 1:\n%s", len(joinBlk.Preds), cfg)
+	}
+}
+
+func TestCFGSelectBlocks(t *testing.T) {
+	body := parseBody(t, `
+		var ch chan int
+		select {
+		case <-ch:
+			got()
+		}
+		after()
+	`)
+	cfg := BuildCFG(body)
+	after := cfg.BlockOf(findCall(t, body, "after"))
+	// No default clause: the only way past the select is through a case.
+	if len(after.Preds) != 1 {
+		t.Fatalf("select-after has %d preds, want 1 (the comm clause):\n%s", len(after.Preds), cfg)
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	body := parseBody(t, `
+		for {
+			if c {
+				continue
+			}
+			break
+		}
+		after()
+	`)
+	cfg := BuildCFG(body)
+	after := cfg.BlockOf(findCall(t, body, "after"))
+	if !cfg.Reachable(after) {
+		t.Fatalf("break target unreachable:\n%s", cfg)
+	}
+	if !cfg.Reachable(cfg.Exit) {
+		t.Fatalf("exit unreachable:\n%s", cfg)
+	}
+}
+
+func TestCFGRangeBind(t *testing.T) {
+	body := parseBody(t, `
+		xs := []int{1, 2}
+		for _, x := range xs {
+			use(x)
+		}
+	`)
+	cfg := BuildCFG(body)
+	// The synthetic bind assignment must be indexed in the head so
+	// taint-style transfer functions see the loop-variable definition.
+	found := false
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no synthetic range bind in graph:\n%s", cfg)
+	}
+}

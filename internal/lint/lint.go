@@ -63,7 +63,7 @@ type Package struct {
 	Info   *types.Info
 	Errors []error // type errors; analyzers still run best-effort
 
-	allow map[string]map[int]bool // lazily built //hclint:allow index
+	allow map[string]map[int]*allowComment // lazily built //hclint:allow index
 }
 
 func (p *Package) position(pos token.Pos) token.Position {
@@ -90,6 +90,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix, Lifecycle, DDFOnce, HotpathAlloc, TestGoroutine,
 		LockOrder, Nonblocking, TagSpace, GoroutineLeak,
+		RequestLeak, BufferReuse, CollectiveDivergence,
 	}
 }
 
@@ -117,8 +118,7 @@ func ByName(names []string) ([]*Analyzer, error) {
 // line, then check name. Findings at positions carrying an
 // `//hclint:allow <reason>` comment are suppressed.
 func RunAll(pkgs []*Package, checks []*Analyzer) []Finding {
-	out, _ := RunAllStats(pkgs, checks)
-	return out
+	return RunAllResult(pkgs, checks).Findings
 }
 
 // Stat is one analyzer's contribution to a RunAllStats run. The first
@@ -131,31 +131,90 @@ type Stat struct {
 	Elapsed  time.Duration
 }
 
+// Suppressed is a finding masked by an //hclint:allow comment. It is
+// kept (rather than dropped on the floor) so the SARIF writer can emit
+// it as a suppressed result with its justification, and so the
+// stale-allow audit can tell live waivers from dead ones.
+type Suppressed struct {
+	Finding Finding
+	Reason  string
+}
+
+// Result is one full lint run: surviving findings (sorted), suppressed
+// findings with their justifications, and per-analyzer stats.
+type Result struct {
+	Findings   []Finding
+	Suppressed []Suppressed
+	Stats      []Stat
+}
+
 // RunAllStats is RunAll with per-analyzer accounting, for the driver's
 // -stats flag and the Makefile lint target.
 func RunAllStats(pkgs []*Package, checks []*Analyzer) ([]Finding, []Stat) {
-	var out []Finding
-	stats := make([]Stat, 0, len(checks))
+	r := RunAllResult(pkgs, checks)
+	return r.Findings, r.Stats
+}
+
+// RunAllResult runs the suite and returns findings, suppressions, and
+// stats together. Suppression hit counts are reset at the start of the
+// run, so AuditAllows afterwards sees exactly this run's usage.
+func RunAllResult(pkgs []*Package, checks []*Analyzer) Result {
+	for _, p := range pkgs {
+		for _, ac := range p.allowComments() {
+			ac.Hits = 0
+		}
+	}
+	var res Result
 	for _, a := range checks {
 		start := time.Now()
 		var fs []Finding
 		if a.Run != nil {
 			for _, p := range pkgs {
-				fs = append(fs, filterAllowed(p, a.Run(p))...)
+				kept, supp := filterAllowed(p, a.Run(p))
+				fs = append(fs, kept...)
+				res.Suppressed = append(res.Suppressed, supp...)
 			}
 		}
 		if a.RunModule != nil {
 			mfs := a.RunModule(pkgs)
 			for _, p := range pkgs {
-				mfs = filterAllowed(p, mfs)
+				var supp []Suppressed
+				mfs, supp = filterAllowed(p, mfs)
+				res.Suppressed = append(res.Suppressed, supp...)
 			}
 			fs = append(fs, mfs...)
 		}
-		stats = append(stats, Stat{Name: a.Name, Findings: len(fs), Elapsed: time.Since(start)})
-		out = append(out, fs...)
+		res.Stats = append(res.Stats, Stat{Name: a.Name, Findings: len(fs), Elapsed: time.Since(start)})
+		res.Findings = append(res.Findings, fs...)
+	}
+	sortFindings(res.Findings)
+	return res
+}
+
+// AuditAllows reports every //hclint:allow comment that suppressed
+// nothing in the preceding RunAllResult. A stale allow is a blanket
+// waiver waiting for a new bug to hide under, so `make lint` fails on
+// them (satellite: suppression audit).
+func AuditAllows(pkgs []*Package) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, ac := range p.allowComments() {
+			key := fmt.Sprintf("%s:%d", ac.File, ac.Line)
+			if ac.Hits > 0 || seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Finding{
+				Pos:   token.Position{Filename: ac.File, Line: ac.Line},
+				Check: "allow-audit",
+				Msg: fmt.Sprintf("stale //hclint:allow (%q) suppresses no finding — delete it or fix the reason",
+					ac.Reason),
+			})
+		}
 	}
 	sortFindings(out)
-	return out, stats
+	return out
 }
 
 func sortFindings(out []Finding) {
@@ -180,48 +239,87 @@ func sortFindings(out []Finding) {
 //	n.collQueue <- t //hclint:allow collective runner always drains
 const allowMarker = "//hclint:allow"
 
-// allowIndex lazily builds the per-file set of suppressed lines: the
-// line of every //hclint:allow comment and the line after it.
-func (p *Package) allowIndex() map[string]map[int]bool {
+// allowComment is one //hclint:allow suppression: where it lives, its
+// stated justification, and how many findings it masked in the last
+// run (the audit fails on Hits == 0).
+type allowComment struct {
+	File   string
+	Line   int // line of the comment itself
+	Reason string
+	Hits   int
+}
+
+// allowIndex lazily builds the per-file suppression map: the line of
+// every //hclint:allow comment and the line after it both resolve to
+// the same comment record.
+func (p *Package) allowIndex() map[string]map[int]*allowComment {
 	if p.allow != nil {
 		return p.allow
 	}
-	p.allow = map[string]map[int]bool{}
+	p.allow = map[string]map[int]*allowComment{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(strings.TrimSpace(c.Text), allowMarker) {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowMarker) {
 					continue
 				}
 				pos := p.position(c.Pos())
 				lines := p.allow[pos.Filename]
 				if lines == nil {
-					lines = map[int]bool{}
+					lines = map[int]*allowComment{}
 					p.allow[pos.Filename] = lines
 				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				ac := &allowComment{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Reason: strings.TrimSpace(strings.TrimPrefix(text, allowMarker)),
+				}
+				lines[pos.Line] = ac
+				lines[pos.Line+1] = ac
 			}
 		}
 	}
 	return p.allow
 }
 
-// filterAllowed drops findings suppressed by //hclint:allow comments in
-// p's files; findings positioned in other packages pass through.
-func filterAllowed(p *Package, fs []Finding) []Finding {
+// allowComments returns p's suppression comments, one record per
+// comment (the index maps two lines to each).
+func (p *Package) allowComments() []*allowComment {
+	var out []*allowComment
+	seen := map[*allowComment]bool{}
+	for _, lines := range p.allowIndex() {
+		for _, ac := range lines {
+			if !seen[ac] {
+				seen[ac] = true
+				out = append(out, ac)
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed splits findings into those that survive and those
+// suppressed by //hclint:allow comments in p's files (recording a hit
+// on the comment); findings positioned in other packages pass through.
+func filterAllowed(p *Package, fs []Finding) ([]Finding, []Suppressed) {
 	idx := p.allowIndex()
 	if len(idx) == 0 {
-		return fs
+		return fs, nil
 	}
 	out := fs[:0]
+	var supp []Suppressed
 	for _, f := range fs {
-		if lines, ok := idx[f.Pos.Filename]; ok && lines[f.Pos.Line] {
-			continue
+		if lines, ok := idx[f.Pos.Filename]; ok {
+			if ac := lines[f.Pos.Line]; ac != nil {
+				ac.Hits++
+				supp = append(supp, Suppressed{Finding: f, Reason: ac.Reason})
+				continue
+			}
 		}
 		out = append(out, f)
 	}
-	return out
+	return out, supp
 }
 
 // dedupe removes exact-duplicate findings (same position, check, and

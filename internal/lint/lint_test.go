@@ -21,6 +21,10 @@ var fixtures = map[string]string{
 	"nonblocking":    "nonblocking",
 	"tag-space":      "tagspace",
 	"goroutine-leak": "goroutineleak",
+
+	"request-leak":          "requestleak",
+	"buffer-reuse":          "bufferreuse",
+	"collective-divergence": "collectivediv",
 }
 
 // TestFixtures runs each analyzer alone over its fixture package and
@@ -107,6 +111,40 @@ func TestLiveTreeClean(t *testing.T) {
 	}
 	for _, f := range RunAll(pkgs, All()) {
 		t.Errorf("live tree finding: %s", f)
+	}
+}
+
+// TestAllowAuditAndSuppressions covers the suppression bookkeeping: a
+// hit //hclint:allow surfaces in Result.Suppressed with its reason (for
+// the SARIF writer), and a stale one is flagged by AuditAllows.
+func TestAllowAuditAndSuppressions(t *testing.T) {
+	pkg, err := LoadPackageDir(filepath.Join("testdata", "src", "allowaudit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pkg.Errors {
+		t.Fatalf("fixture type error: %v", e)
+	}
+	pkgs := []*Package{pkg}
+	res := RunAllResult(pkgs, All())
+	if len(res.Findings) != 0 {
+		t.Errorf("allow did not suppress: %v", res.Findings)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("Suppressed = %d, want 1: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	s := res.Suppressed[0]
+	if s.Finding.Check != "request-leak" ||
+		s.Reason != "transport completes control messages autonomously" {
+		t.Errorf("suppression = %+v", s)
+	}
+	stale := AuditAllows(pkgs)
+	if len(stale) != 1 {
+		t.Fatalf("AuditAllows = %d, want exactly the stale comment: %v", len(stale), stale)
+	}
+	if stale[0].Check != "allow-audit" || !strings.Contains(stale[0].Msg, "stale") ||
+		!strings.Contains(stale[0].Msg, "this line produces no finding") {
+		t.Errorf("stale finding = %v", stale[0])
 	}
 }
 

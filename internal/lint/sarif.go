@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 emission (OASIS Static Analysis Results Interchange
+// Format) so CI can publish hclint's diagnostics to code-scanning UIs.
+// The writer maps the suite directly onto the format's core objects:
+// one run, one tool.driver carrying a reportingDescriptor per analyzer,
+// one result per finding, and — crucially — one *suppressed* result per
+// //hclint:allow hit, with the comment's reason as the suppression
+// justification. Recording suppressions (rather than dropping them)
+// keeps the waiver inventory visible in the same artifact the findings
+// live in.
+//
+// ValidateSARIF is the offline counterpart: CI must prove the artifact
+// is well-formed without network access to the JSON schema, so it
+// structurally checks the subset of the 2.1.0 schema the writer can
+// produce — required properties, types, rule-index consistency, and
+// legal suppression kinds.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string       `json:"id"`
+	ShortDescription     sarifText    `json:"shortDescription"`
+	DefaultConfiguration *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// WriteSARIF renders one lint run as a SARIF 2.1.0 log. Paths are
+// emitted relative to root (forward slashes, per the format); findings
+// suppressed by //hclint:allow appear as results with an inSource
+// suppression carrying the comment's justification.
+func WriteSARIF(w io.Writer, root string, checks []*Analyzer, res Result) error {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	for i, a := range checks {
+		ruleIndex[a.Name] = i
+		rules = append(rules, sarifRule{
+			ID:                   a.Name,
+			ShortDescription:     sarifText{Text: a.Doc},
+			DefaultConfiguration: &sarifConfig{Level: "warning"},
+		})
+	}
+	relURI := func(filename string) string {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(filename)
+	}
+	result := func(f Finding) sarifResult {
+		idx, ok := ruleIndex[f.Check]
+		if !ok {
+			idx = -1
+		}
+		return sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relURI(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: max(f.Pos.Line, 1)},
+				},
+			}},
+		}
+	}
+	results := make([]sarifResult, 0, len(res.Findings)+len(res.Suppressed))
+	for _, f := range res.Findings {
+		results = append(results, result(f))
+	}
+	for _, s := range res.Suppressed {
+		r := result(s.Finding)
+		r.Suppressions = []sarifSuppression{{
+			Kind:          "inSource",
+			Justification: s.Reason,
+		}}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hclint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(log)
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// ValidateSARIF structurally checks data against the SARIF 2.1.0
+// schema subset hclint emits: required top-level properties, run and
+// driver shapes, rule-index consistency, location well-formedness, and
+// legal suppression kinds. It is offline by design — CI validates the
+// artifact without fetching the JSON schema.
+func ValidateSARIF(data []byte) error {
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	schema, _ := log["$schema"].(string)
+	if !strings.Contains(schema, "sarif") || !strings.Contains(schema, "2.1.0") {
+		return fmt.Errorf("sarif: $schema %q is not the 2.1.0 schema", schema)
+	}
+	if v, _ := log["version"].(string); v != sarifVersion {
+		return fmt.Errorf("sarif: version %q, want %q", v, sarifVersion)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("sarif: runs must be a non-empty array")
+	}
+	for ri, rv := range runs {
+		run, ok := rv.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] is not an object", ri)
+		}
+		tool, _ := run["tool"].(map[string]any)
+		driver, _ := tool["driver"].(map[string]any)
+		if driver == nil {
+			return fmt.Errorf("sarif: runs[%d] missing tool.driver", ri)
+		}
+		if name, _ := driver["name"].(string); name == "" {
+			return fmt.Errorf("sarif: runs[%d] tool.driver.name missing", ri)
+		}
+		var ruleIDs []string
+		if rules, ok := driver["rules"].([]any); ok {
+			for i, rr := range rules {
+				rule, ok := rr.(map[string]any)
+				if !ok {
+					return fmt.Errorf("sarif: rules[%d] is not an object", i)
+				}
+				id, _ := rule["id"].(string)
+				if id == "" {
+					return fmt.Errorf("sarif: rules[%d] missing id", i)
+				}
+				ruleIDs = append(ruleIDs, id)
+				if sd, ok := rule["shortDescription"].(map[string]any); ok {
+					if txt, _ := sd["text"].(string); txt == "" {
+						return fmt.Errorf("sarif: rule %s shortDescription.text empty", id)
+					}
+				}
+			}
+		}
+		resultsv, ok := run["results"]
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] missing results", ri)
+		}
+		results, ok := resultsv.([]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].results is not an array", ri)
+		}
+		for i, rr := range results {
+			resObj, ok := rr.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: results[%d] is not an object", i)
+			}
+			msg, _ := resObj["message"].(map[string]any)
+			if txt, _ := msg["text"].(string); txt == "" {
+				return fmt.Errorf("sarif: results[%d] missing message.text", i)
+			}
+			ruleID, _ := resObj["ruleId"].(string)
+			if idxv, ok := resObj["ruleIndex"]; ok && ruleID != "" {
+				idx, ok := idxv.(float64)
+				if !ok || int(idx) < 0 || int(idx) >= len(ruleIDs) {
+					return fmt.Errorf("sarif: results[%d] ruleIndex %v out of range", i, idxv)
+				}
+				if ruleIDs[int(idx)] != ruleID {
+					return fmt.Errorf("sarif: results[%d] ruleIndex %d names %s, ruleId says %s",
+						i, int(idx), ruleIDs[int(idx)], ruleID)
+				}
+			}
+			if locs, ok := resObj["locations"].([]any); ok {
+				for j, lv := range locs {
+					loc, _ := lv.(map[string]any)
+					phys, _ := loc["physicalLocation"].(map[string]any)
+					art, _ := phys["artifactLocation"].(map[string]any)
+					if uri, _ := art["uri"].(string); uri == "" {
+						return fmt.Errorf("sarif: results[%d].locations[%d] missing artifactLocation.uri", i, j)
+					}
+					if region, ok := phys["region"].(map[string]any); ok {
+						if sl, ok := region["startLine"].(float64); ok && sl < 1 {
+							return fmt.Errorf("sarif: results[%d].locations[%d] startLine %v < 1", i, j, sl)
+						}
+					}
+				}
+			}
+			if supps, ok := resObj["suppressions"].([]any); ok {
+				for j, sv := range supps {
+					supp, _ := sv.(map[string]any)
+					kind, _ := supp["kind"].(string)
+					if kind != "inSource" && kind != "external" {
+						return fmt.Errorf("sarif: results[%d].suppressions[%d] kind %q invalid", i, j, kind)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

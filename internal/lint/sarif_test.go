@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleResult() Result {
+	return Result{
+		Findings: []Finding{
+			{Pos: token.Position{Filename: "/repo/internal/mpi/p2p.go", Line: 42},
+				Check: "request-leak", Msg: "request r may leak"},
+			{Pos: token.Position{Filename: "/repo/cmd/hclint/main.go", Line: 7},
+				Check: "buffer-reuse", Msg: "buffer b written while posted"},
+		},
+		Suppressed: []Suppressed{
+			{Finding: Finding{Pos: token.Position{Filename: "/repo/internal/uts/mpi.go", Line: 66},
+				Check: "request-leak", Msg: "Isend result discarded"},
+				Reason: "fire-and-forget control message"},
+		},
+	}
+}
+
+func TestSARIFWriteAndValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", All(), sampleResult()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Fatalf("emitted SARIF fails validation: %v", err)
+	}
+
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	run := log["runs"].([]any)[0].(map[string]any)
+	rules := run["tool"].(map[string]any)["driver"].(map[string]any)["rules"].([]any)
+	if len(rules) != len(All()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(rules), len(All()))
+	}
+	results := run["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 2 findings + 1 suppressed", len(results))
+	}
+	// Paths must be root-relative with forward slashes.
+	first := results[0].(map[string]any)
+	uri := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri != "internal/mpi/p2p.go" {
+		t.Errorf("uri = %q, want root-relative", uri)
+	}
+	// The suppressed finding carries its justification.
+	last := results[2].(map[string]any)
+	supps, ok := last["suppressions"].([]any)
+	if !ok || len(supps) != 1 {
+		t.Fatalf("suppressed finding has no suppressions array: %v", last)
+	}
+	s := supps[0].(map[string]any)
+	if s["kind"] != "inSource" || s["justification"] != "fire-and-forget control message" {
+		t.Errorf("suppression = %v", s)
+	}
+	// Unsuppressed results must not claim suppressions.
+	if _, ok := first["suppressions"]; ok {
+		t.Error("plain finding carries a suppressions array")
+	}
+}
+
+func TestSARIFValidateRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", All(), sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"wrong version":   strings.Replace(good, `"version": "2.1.0"`, `"version": "2.0.0"`, 1),
+		"wrong schema":    strings.Replace(good, sarifSchemaURI, "https://example.com/other.json", 1),
+		"empty message":   strings.Replace(good, `"text": "request r may leak"`, `"text": ""`, 1),
+		"bad suppression": strings.Replace(good, `"kind": "inSource"`, `"kind": "wishful"`, 1),
+		"mismatched rule": strings.Replace(good, `"ruleId": "buffer-reuse"`, `"ruleId": "request-leak"`, 1),
+		"no runs":         `{"$schema": "` + sarifSchemaURI + `", "version": "2.1.0", "runs": []}`,
+		"not json":        "]",
+		"driver nameless": strings.Replace(good, `"name": "hclint"`, `"name": ""`, 1),
+		"zero startLine":  strings.Replace(good, `"startLine": 42`, `"startLine": 0`, 1),
+	}
+	for name, doc := range cases {
+		if doc == good {
+			t.Fatalf("case %q: replacement did not apply", name)
+		}
+		if err := ValidateSARIF([]byte(doc)); err == nil {
+			t.Errorf("case %q: validator accepted malformed SARIF", name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package collectivediv exercises the collective-divergence analyzer:
+// rank-conditioned branches whose effective collective sequences
+// differ (skipped collectives, swapped order, early exits past a
+// later collective, rank-bounded loops) and the uniform SPMD idioms
+// that must stay clean (early-exit symmetry, untainted conditions,
+// taint killed by reassignment).
+package collectivediv
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                     { return c.rank }
+func (c *Comm) Size() int                     { return c.size }
+func (c *Comm) Barrier()                      {}
+func (c *Comm) Bcast(buf []byte, root int)    {}
+func (c *Comm) Allreduce(in, out []int64)     {}
+func (c *Comm) Reduce(in, out []int64, r int) {}
+
+// ---- divergent shapes ----
+
+func skippedCollective(c *Comm) {
+	if c.Rank() == 0 { // want: diverges
+		c.Barrier()
+	}
+}
+
+func earlyExitPastBarrier(c *Comm) {
+	if c.Rank() == 0 { // want: diverges
+		return
+	}
+	c.Barrier()
+}
+
+func orderSwapped(c *Comm, buf []byte) {
+	if c.Rank()%2 == 0 { // want: diverges
+		c.Barrier()
+		c.Bcast(buf, 0)
+	} else {
+		c.Bcast(buf, 0)
+		c.Barrier()
+	}
+}
+
+func switchDiverges(c *Comm, buf []byte) {
+	switch c.Rank() { // want: diverges
+	case 0:
+		c.Barrier()
+	default:
+		c.Bcast(buf, 0)
+	}
+}
+
+func taintFlowsThroughLocals(c *Comm) {
+	me := c.Rank()
+	leader := me == 0
+	if leader { // want: diverges
+		c.Barrier()
+	}
+}
+
+func rankNamedParam(c *Comm, rank int) {
+	if rank == 0 { // want: diverges
+		c.Barrier()
+	}
+}
+
+func rankBoundedLoop(c *Comm) {
+	for i := 0; i < c.Rank(); i++ { // want: inside a loop
+		c.Barrier()
+	}
+}
+
+func rankBoundedRange(c *Comm, parts [][]byte) {
+	for _, p := range parts[:c.Rank()] { // want: inside a range
+		c.Bcast(p, 0)
+	}
+}
+
+func elseIfChainDiverges(c *Comm, in, out []int64) {
+	if c.Rank() == 0 { // want: diverges
+		c.Allreduce(in, out)
+	} else if c.Rank() == 1 {
+		c.Reduce(in, out, 0)
+	} else {
+		c.Allreduce(in, out)
+	}
+}
+
+// ---- uniform shapes the analyzer must accept ----
+
+func okEarlyExitSymmetric(c *Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+		return
+	}
+	c.Barrier()
+}
+
+func okSwitchContinuation(c *Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier()
+		return
+	case 1:
+	}
+	c.Barrier()
+}
+
+func okUntaintedCondition(c *Comm, n int) {
+	if n > 0 {
+		c.Barrier()
+	}
+}
+
+func okTaintKilledByReassign(c *Comm) {
+	x := c.Rank()
+	x = 0
+	if x == 1 {
+		c.Barrier()
+	}
+}
+
+func okDivergentP2POnly(c *Comm, buf []byte) {
+	if c.Rank() == 0 {
+		// Point-to-point traffic may divergence freely; only
+		// collectives must stay uniform.
+		_ = buf
+	}
+	c.Barrier()
+}
+
+func okUniformEitherWay(c *Comm, buf []byte) {
+	if c.Rank() == 0 {
+		c.Bcast(buf, 0)
+	} else {
+		c.Bcast(buf, 0)
+	}
+	c.Barrier()
+}

@@ -33,7 +33,7 @@ func TestZeroFaultsAreFree(t *testing.T) {
 	w := NewWorld(2, WithFaults(netsim.Faults{}))
 	defer w.Close()
 	c0, c1 := w.Comm(0), w.Comm(1)
-	c0.Isend([]byte("x"), 1, 0)
+	c0.Isend([]byte("x"), 1, 0) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 	buf := make([]byte, 1)
 	if st := c1.Recv(buf, 0, 0); st.Err != nil || st.Bytes != 1 {
 		t.Fatalf("recv under zero faults: %+v", st)
@@ -124,7 +124,7 @@ func TestCommSetDeadline(t *testing.T) {
 	if _, err := r.WaitTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("WaitTimeout on pending recv: %v", err)
 	}
-	w.Comm(1).Isend([]byte{7}, 0, 8)
+	w.Comm(1).Isend([]byte{7}, 0, 8) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 	if st, err := r.WaitErr(); err != nil || buf[0] != 7 {
 		t.Fatalf("recv after WaitTimeout expiry: st=%+v err=%v buf=%v", st, err, buf)
 	}
@@ -156,7 +156,7 @@ func TestCrashedRankFailsPending(t *testing.T) {
 	if _, err := c0.Irecv(buf, 2, 5).WaitErr(); !errors.Is(err, ErrRankFailed) {
 		t.Fatalf("recv from crashed rank posted after crash: %v", err)
 	}
-	c1.Isend([]byte("alive"), 0, 6)
+	c1.Isend([]byte("alive"), 0, 6) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 	if st, err := anyReq.WaitErr(); err != nil || st.Source != 1 {
 		t.Fatalf("AnySource recv after crash: st=%+v err=%v", st, err)
 	}
@@ -170,7 +170,7 @@ func TestStalledRankRecovers(t *testing.T) {
 	defer w.Close()
 	w.StallRank(1, 30*time.Millisecond)
 	start := time.Now()
-	w.Comm(0).Isend([]byte("slow"), 1, 2)
+	w.Comm(0).Isend([]byte("slow"), 1, 2) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 	buf := make([]byte, 4)
 	st, err := w.Comm(1).IrecvTimeout(buf, 0, 2, 5*time.Second).WaitErr()
 	if err != nil || st.Bytes != 4 {
@@ -198,7 +198,7 @@ func TestCancelDeliverRaceHasOneWinner(t *testing.T) {
 		r := c0.Irecv(buf, 1, 4)
 		done := make(chan bool, 1)
 		go func() { done <- r.Cancel() }()
-		c1.Isend([]byte{9}, 0, 4)
+		c1.Isend([]byte{9}, 0, 4) //hclint:allow fire-and-forget send: the eager transport copies at post; teardown reaps it
 		cancelled := <-done
 		st := r.Wait()
 		if st.Err != nil {
